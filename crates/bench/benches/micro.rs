@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the core data structures: how fast are
+//! the prefetcher operations themselves? (These complement the figure
+//! binaries, which measure *simulated* performance.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use streamline_core::{align, Streamline, StreamEntry, StreamStore, StreamlineConfig};
+use tpsim::{L2EventKind, MetaCtx, TemporalEvent, TemporalPrefetcher};
+use tptrace::record::{Line, Pc};
+
+fn bench_stream_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_store");
+    g.bench_function("insert", |b| {
+        b.iter_batched(
+            || (StreamStore::new(StreamlineConfig::default()), 0u64),
+            |(mut store, mut t)| {
+                for _ in 0..64 {
+                    t += 1;
+                    let e = StreamEntry::new(
+                        Line(t * 131),
+                        vec![Line(t + 1), Line(t + 2), Line(t + 3), Line(t + 4)],
+                    );
+                    store.insert(e, (t % 251) as u8);
+                }
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut store = StreamStore::new(StreamlineConfig::default());
+        for t in 0..4096u64 {
+            let e = StreamEntry::new(
+                Line(t * 131),
+                vec![Line(t + 1), Line(t + 2), Line(t + 3), Line(t + 4)],
+            );
+            store.insert(e, (t % 251) as u8);
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 1) % 4096;
+            store.lookup(Line(t * 131), (t % 251) as u8)
+        })
+    });
+    g.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    c.bench_function("stream_align", |b| {
+        let old = StreamEntry::new(
+            Line(10),
+            vec![Line(20), Line(30), Line(40), Line(50)],
+        );
+        let new = StreamEntry::new(
+            Line(20),
+            vec![Line(30), Line(41), Line(51), Line(61)],
+        );
+        b.iter(|| align(&old, &new, 4))
+    });
+}
+
+fn bench_prefetcher_event(c: &mut Criterion) {
+    let mut g = c.benchmark_group("on_event");
+    g.bench_function("streamline", |b| {
+        let mut pf = Streamline::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut ctx = MetaCtx::new(i, 0.9);
+            pf.on_event(
+                &mut ctx,
+                TemporalEvent {
+                    pc: Pc(0x400),
+                    line: Line(1000 + (i % 20_000) * 3),
+                    kind: L2EventKind::DemandMiss,
+                    now: i,
+                },
+            )
+        })
+    });
+    g.bench_function("triangel", |b| {
+        let mut pf = triangel::Triangel::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut ctx = MetaCtx::new(i, 0.9);
+            pf.on_event(
+                &mut ctx,
+                TemporalEvent {
+                    pc: Pc(0x400),
+                    line: Line(1000 + (i % 20_000) * 3),
+                    kind: L2EventKind::DemandMiss,
+                    now: i,
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    use tpsim::{CorePlan, Engine, SystemConfig};
+    use tptrace::{workloads, Scale};
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("bare_100k_accesses", |b| {
+        let w = workloads::by_name("spec06.bzip2").unwrap();
+        let trace = w.generate(Scale::Test);
+        b.iter_batched(
+            || CorePlan::bare(trace.clone()),
+            |plan| Engine::new(SystemConfig::single_core(), vec![plan]).run(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stream_store,
+    bench_alignment,
+    bench_prefetcher_event,
+    bench_sim_throughput
+);
+criterion_main!(benches);

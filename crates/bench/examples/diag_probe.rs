@@ -1,0 +1,29 @@
+//! Deep diagnostic: full temporal stats per prefetcher per workload.
+fn main() {
+    use tpsim::*; use tptrace::{workloads, Scale};
+    use tpprefetch::IpStride;
+    let names: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let scale = if std::env::args().any(|a| a == "--test") { Scale::Test } else { Scale::Small };
+    for name in &names {
+        let w = workloads::by_name(name).unwrap();
+        let mut runs: Vec<(&str, Option<Box<dyn TemporalPrefetcher>>)> = vec![
+            ("base", None),
+            ("triangel", Some(Box::new(triangel::Triangel::new()))),
+            ("streamline", Some(Box::new(streamline_core::Streamline::new()))),
+        ];
+        for (label, tp) in runs.drain(..) {
+            let mut plan = CorePlan::bare(w.generate(scale)).with_l1(Box::new(IpStride::new()));
+            if let Some(t) = tp { plan = plan.with_temporal(t); }
+            let r = Engine::new(SystemConfig::single_core(), vec![plan]).run();
+            let c = &r.cores[0];
+            let t = c.temporal;
+            println!("{name} {label:10} ipc {:.3} cyc {:>11} | hits {}/{} corr {} | ins {} align {} filt {} realign {} resz {}",
+                c.ipc(), c.cycles, t.trigger_hits, t.trigger_lookups, t.correlation_hits,
+                t.inserts, t.aligned_inserts, t.filtered, t.realigned, t.resizes);
+            println!("    meta rd {} wr {} shuf {} | dram rd {} wr {} rowhit {} | llc acc {} hit {} | l2 miss {} | issued {} useful {:?} useless {:?} | tcov {:.1}% tacc {:.1}%",
+                t.meta_reads, t.meta_writes, t.rearranged_blocks, r.dram.reads, r.dram.writes, r.dram.row_hits,
+                r.llc.accesses, r.llc.hits, c.l2.misses,
+                t.prefetches_issued, c.l2_useful_by_origin[2], c.l2_useless_by_origin[2], c.temporal_coverage()*100.0, c.temporal_accuracy()*100.0);
+        }
+    }
+}

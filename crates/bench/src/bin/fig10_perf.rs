@@ -1,0 +1,144 @@
+//! Figure 10: performance analysis.
+//!
+//! (a) multi-core speedups at 2/4/8 cores; (b) 4-core win-rate; (c) DRAM
+//! bandwidth sensitivity; (d/e) coverage and accuracy per suite; (f)
+//! prefetch degree sweep.
+
+use streamline_core::StreamlineConfig;
+use tpbench::{contenders, paired_runs, scale_from_args, stride_baseline};
+use tpharness::baselines::TemporalKind;
+use tpharness::experiment::run_mix;
+use tpharness::metrics::{gmean, mix_speedup, summarize};
+use tpharness::report::Table;
+use tptrace::{workloads, MixGenerator, Suite};
+
+fn main() {
+    let scale = scale_from_args();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let base = stride_baseline(scale);
+
+    // --- (a) multi-core speedups + (b) win rate -----------------------
+    let mut a = Table::new(
+        format!("Figure 10a: Multi-Core Speedup over stride baseline ({scale})"),
+        &["cores", "mixes", "triangel", "streamline"],
+    );
+    let mut win_rows = Vec::new();
+    for cores in [2usize, 4, 8] {
+        let n_mixes = if quick { 4 } else { if cores == 8 { 8 } else { 12 } };
+        let mixes = MixGenerator::new(0xF16_0A + cores as u64).mixes(cores, n_mixes);
+        let mut tri = Vec::new();
+        let mut stl = Vec::new();
+        let mut stl_wins = 0;
+        for m in &mixes {
+            eprintln!("  {cores}C {}", m.label());
+            let b = run_mix(m, &base);
+            let t = run_mix(m, &base.clone().temporal(TemporalKind::Triangel));
+            let s = run_mix(m, &base.clone().temporal(TemporalKind::Streamline));
+            let ts = mix_speedup(&b, &t);
+            let ss = mix_speedup(&b, &s);
+            tri.push(ts);
+            stl.push(ss);
+            if ss > ts {
+                stl_wins += 1;
+            }
+            if cores == 4 {
+                win_rows.push((m.label(), ts, ss));
+            }
+        }
+        a.row(&[
+            cores.to_string(),
+            mixes.len().to_string(),
+            format!("{:+.1}%", (gmean(&tri) - 1.0) * 100.0),
+            format!("{:+.1}%", (gmean(&stl) - 1.0) * 100.0),
+        ]);
+        if cores == 4 {
+            eprintln!(
+                "4-core win rate: streamline beats triangel on {stl_wins}/{} mixes",
+                mixes.len()
+            );
+        }
+    }
+    a.print();
+    println!();
+    let mut b = Table::new(
+        "Figure 10b: 4-core mixes (speedup % per mix)",
+        &["mix", "triangel", "streamline"],
+    );
+    win_rows.sort_by(|x, y| (y.2 - y.1).partial_cmp(&(x.2 - x.1)).unwrap());
+    let wins = win_rows.iter().filter(|(_, t, s)| s > t).count();
+    let total = win_rows.len().max(1);
+    for (label, t, s) in &win_rows {
+        b.row(&[
+            label.clone(),
+            format!("{:+.1}%", (t - 1.0) * 100.0),
+            format!("{:+.1}%", (s - 1.0) * 100.0),
+        ]);
+    }
+    b.print();
+    println!("win rate: {wins}/{total}\n");
+
+    // --- (c) bandwidth sensitivity ------------------------------------
+    let pool = tpbench::sweep_pool();
+    let mut c = Table::new(
+        format!("Figure 10c: DRAM Bandwidth Sensitivity ({scale}, single-core)"),
+        &["bandwidth", "triangel", "streamline"],
+    );
+    for factor in [0.25, 0.5, 1.0, 2.0] {
+        let base_bw = base.clone().bandwidth(factor);
+        let mut cells = vec![format!("{factor}x")];
+        for kind in [TemporalKind::Triangel, TemporalKind::Streamline] {
+            let runs = paired_runs(&pool, &base_bw, &base_bw.clone().temporal(kind));
+            let s = summarize(runs.iter(), None);
+            cells.push(format!("{:+.1}%", s.speedup_pct));
+        }
+        c.row(&cells);
+    }
+    c.print();
+    println!();
+
+    // --- (d/e) coverage and accuracy per suite ------------------------
+    let all = workloads::memory_intensive();
+    let mut d = Table::new(
+        format!("Figure 10d/e: Coverage and Accuracy per suite ({scale})"),
+        &["prefetcher", "metric", "SPEC06", "SPEC17", "GAP", "all"],
+    );
+    for (name, exp) in contenders(scale) {
+        let runs = paired_runs(&all, &base, &exp);
+        let mut cov = vec![name.to_string(), "coverage".into()];
+        let mut acc = vec![name.to_string(), "accuracy".into()];
+        for suite in [Some(Suite::Spec06), Some(Suite::Spec17), Some(Suite::Gap), None] {
+            let s = summarize(runs.iter(), suite);
+            cov.push(format!("{:.1}%", s.coverage_pct));
+            acc.push(format!("{:.1}%", s.accuracy_pct));
+        }
+        d.row(&cov);
+        d.row(&acc);
+    }
+    d.print();
+    println!();
+
+    // --- (f) degree sweep ----------------------------------------------
+    let mut f = Table::new(
+        format!("Figure 10f: Prefetch Degree Sweep ({scale}, irregular subset)"),
+        &["degree", "streamline speedup", "streamline accuracy"],
+    );
+    for degree in [1usize, 2, 3, 4] {
+        let cfg = StreamlineConfig {
+            degree_override: Some(degree),
+            ..StreamlineConfig::default()
+        };
+        let runs = paired_runs(
+            &pool,
+            &base,
+            &base.clone().temporal(TemporalKind::StreamlineCfg(cfg)),
+        );
+        let s = summarize(runs.iter(), None);
+        f.row(&[
+            degree.to_string(),
+            format!("{:+.1}%", s.speedup_pct),
+            format!("{:.1}%", s.accuracy_pct),
+        ]);
+    }
+    f.print();
+    println!("\npaper shape: multi-core gaps widen; Streamline wins most mixes; degree helps up to the stream length.");
+}

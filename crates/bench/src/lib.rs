@@ -1,0 +1,139 @@
+//! # tpbench — benchmark harness for the Streamline reproduction
+//!
+//! One binary per paper table/figure regenerates the corresponding rows:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1_partitioning` | Table I — partitioning-scheme taxonomy |
+//! | `table2_params` | Table II — system parameters |
+//! | `fig09_single_core` | Fig. 9 — single-core speedups per suite |
+//! | `fig10_perf` | Fig. 10 — multi-core, bandwidth, coverage/accuracy, degree |
+//! | `fig11_regular` | Fig. 11 — Berti and L2-prefetcher baselines |
+//! | `fig12_stream_issues` | Fig. 12 — stream length, redundancy, buffer size |
+//! | `fig13_metadata` | Fig. 13 — storage efficiency, traffic, TP-MIN |
+//! | `fig14_ablation` | Fig. 14 — component ablations |
+//! | `fig15_filtering` | Fig. 15 — filtering loss, realignment, skew, hybrid |
+//!
+//! Run with `--scale=test|small|full` (default `small`). All binaries are
+//! deterministic. Criterion micro-benchmarks for the core data
+//! structures live in `benches/`.
+
+use tpharness::baselines::{L1Kind, TemporalKind};
+use tpharness::experiment::{run_single, Experiment};
+use tpharness::metrics::PairedRun;
+use tptrace::{Scale, Workload};
+
+/// Parses `--scale=` from argv (default [`Scale::Small`]).
+pub fn scale_from_args() -> Scale {
+    for a in std::env::args() {
+        if let Some(s) = a.strip_prefix("--scale=") {
+            return match s {
+                "test" => Scale::Test,
+                "small" => Scale::Small,
+                "full" => Scale::Full,
+                other => panic!("unknown scale {other:?} (test|small|full)"),
+            };
+        }
+    }
+    Scale::Small
+}
+
+/// Runs `pool` under `base` and `with`, returning paired results and
+/// printing one progress line per workload. Baseline runs are cached
+/// per (workload, baseline signature) within the process, so sweeps
+/// that revisit the same baseline don't re-simulate it.
+pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> Vec<PairedRun> {
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+    use tpsim::SimReport;
+    static BASE_CACHE: Mutex<Option<HashMap<String, SimReport>>> = Mutex::new(None);
+
+    let base_key = |w: &Workload| {
+        format!(
+            "{}|{}|{}|{}|{}",
+            w.name,
+            base.scale,
+            base.l1.name(),
+            base.l2.name(),
+            base.bandwidth_factor
+        )
+    };
+    pool.iter()
+        .map(|w| {
+            let key = base_key(w);
+            let cached = {
+                let guard = BASE_CACHE.lock().expect("cache lock");
+                guard.as_ref().and_then(|m| m.get(&key).cloned())
+            };
+            let b = cached.unwrap_or_else(|| {
+                let r = run_single(w, base);
+                let mut guard = BASE_CACHE.lock().expect("cache lock");
+                guard.get_or_insert_with(HashMap::new).insert(key, r.clone());
+                r
+            });
+            let x = run_single(w, with);
+            eprintln!(
+                "  {:20} base {:.3} -> {:.3} ({:+.1}%)",
+                w.name,
+                b.cores[0].ipc(),
+                x.cores[0].ipc(),
+                (x.cores[0].ipc() / b.cores[0].ipc().max(1e-12) - 1.0) * 100.0
+            );
+            PairedRun {
+                workload: w.clone(),
+                base: b,
+                with: x,
+            }
+        })
+        .collect()
+}
+
+/// A representative six-workload subset of the irregular pool used by
+/// the parameter-sweep figures (12, 14, 15), keeping sweep runtimes
+/// tractable while covering the three suites and both metadata regimes
+/// (fits-in-store and capacity-strained).
+pub fn sweep_pool() -> Vec<Workload> {
+    ["spec06.mcf", "spec06.xalancbmk", "spec06.omnetpp", "gap.pr", "gap.bfs", "gap.tc"]
+        .iter()
+        .filter_map(|n| workloads::by_name(n))
+        .collect()
+}
+
+use tptrace::workloads;
+
+/// The paper's standard baseline: L1D IP-stride prefetcher only.
+pub fn stride_baseline(scale: Scale) -> Experiment {
+    Experiment::new(scale).l1(L1Kind::Stride)
+}
+
+/// The standard candidate experiments for the headline comparisons.
+pub fn contenders(scale: Scale) -> Vec<(&'static str, Experiment)> {
+    vec![
+        (
+            "triangel",
+            stride_baseline(scale).temporal(TemporalKind::Triangel),
+        ),
+        (
+            "streamline",
+            stride_baseline(scale).temporal(TemporalKind::Streamline),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_small() {
+        assert_eq!(scale_from_args(), Scale::Small);
+    }
+
+    #[test]
+    fn contenders_cover_both_prefetchers() {
+        let c = contenders(Scale::Test);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].0, "triangel");
+        assert_eq!(c[1].0, "streamline");
+    }
+}

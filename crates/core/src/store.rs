@@ -1,0 +1,743 @@
+//! The Streamline metadata store: tagged set-partitioning, filtered
+//! indexing, TP-Mockingjay replacement, and partial-tag placement
+//! (paper Sections IV-B3, IV-C, IV-D, IV-E).
+
+use crate::config::{PartitionSize, StreamlineConfig};
+use crate::stream::StreamEntry;
+use tpreplace::{EtrSampler, EtrSamplerConfig, EtrSet};
+use tpsim::PartitionSpec;
+use tptrace::record::Line;
+
+/// Result of a store insertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreInsert {
+    /// Entry written; `redundant_pairs` counts its correlations that
+    /// were already present in the indexed set (Figure 12b metric).
+    Stored {
+        /// Correlations duplicated within the set.
+        redundant_pairs: usize,
+    },
+    /// The trigger maps to a set not allocated at the current partition
+    /// size: filtered indexing discards the entry (Section IV-C).
+    Filtered,
+}
+
+/// Result of a resize.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResizeReport {
+    /// Entries dropped because their set left the partition (filtered
+    /// indexing) .
+    pub dropped_entries: usize,
+    /// Blocks that had to be shuffled (only nonzero when filtering is
+    /// disabled and the index function changes — the RTS scheme).
+    pub moved_blocks: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    entry: StreamEntry,
+    partial_tag: u16,
+    lru: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MetaSet {
+    slots: Vec<Option<Slot>>,
+    etr: Option<EtrSet>,
+    /// Inserts since the last lookup hit (decayed by hits). Above the
+    /// set capacity the set is *thrashing*: its working set cycles
+    /// through without reuse, so — like Belady's MIN, which TP-Mockingjay
+    /// mimics — new entries are confined to a few probation slots and
+    /// the resident majority is retained. Past 4x capacity with still no
+    /// hits the retained subset is judged stale and normal replacement
+    /// resumes for one round to resample the stream.
+    inserts_since_hit: u32,
+}
+
+/// The stream-based metadata store.
+pub struct StreamStore {
+    cfg: StreamlineConfig,
+    size: PartitionSize,
+    sets: Vec<MetaSet>,
+    sampler: EtrSampler,
+    clock: u64,
+    alias_conflicts: u64,
+    /// Lookup hits credited to each size whose allocation contains the
+    /// hit set (real measurements — they embed capacity pressure).
+    /// Indexed by [`size_rank`]. The 64 permanently allocated sample
+    /// sets guarantee index 0 keeps measuring even at "0 MB".
+    credit: [u64; 4],
+    lookups: u64,
+}
+
+fn size_rank(s: PartitionSize) -> usize {
+    match s {
+        PartitionSize::SamplesOnly => 0,
+        PartitionSize::Quarter => 1,
+        PartitionSize::Half => 2,
+        PartitionSize::Full => 3,
+    }
+}
+
+/// All sizes, smallest to largest.
+pub const ALL_SIZES: [PartitionSize; 4] = [
+    PartitionSize::SamplesOnly,
+    PartitionSize::Quarter,
+    PartitionSize::Half,
+    PartitionSize::Full,
+];
+
+impl StreamStore {
+    /// Creates a store at the configured initial size.
+    pub fn new(cfg: StreamlineConfig) -> Self {
+        let size = cfg.fixed_size.unwrap_or(cfg.max_size);
+        StreamStore {
+            sets: (0..cfg.llc_sets).map(|_| MetaSet::default()).collect(),
+            // Temporal metadata has long but consistent reuse distances
+            // (paper Section IV-E5: 3-bit ETRs suffice); the sampler
+            // ranges must cover them.
+            sampler: EtrSampler::new(EtrSamplerConfig {
+                sets: 256,
+                ways: 10,
+                max_distance: 2048,
+                granularity: 64,
+            }),
+            clock: 0,
+            alias_conflicts: 0,
+            credit: [0; 4],
+            lookups: 0,
+            size,
+            cfg,
+        }
+    }
+
+    /// Geometry of a partition size under the current knobs:
+    /// `(set stride log2, reserved ways)`. Hybrid partitioning trades
+    /// set stride for way count below Half (Section V-D6).
+    pub fn geometry(&self, size: PartitionSize) -> (u8, usize) {
+        if self.cfg.hybrid && size == PartitionSize::Quarter {
+            (1, self.cfg.meta_ways / 2)
+        } else {
+            (size.stride_log2(), self.cfg.meta_ways)
+        }
+    }
+
+    fn entries_cap(&self, size: PartitionSize) -> usize {
+        let (_, ways) = self.geometry(size);
+        // 4 stream entries per way-block.
+        ways * (StreamlineConfig::correlations_per_block(self.cfg.stream_len)
+            / self.cfg.stream_len.max(1))
+            .max(1)
+    }
+
+    /// Whether `set` is allocated at `size`.
+    fn allocated_at(&self, set: usize, size: PartitionSize) -> bool {
+        let (stride, _) = self.geometry(size);
+        set & ((1usize << stride) - 1) == 0
+    }
+
+    fn hash(trigger: Line) -> u64 {
+        // SplitMix64 finaliser: strided address patterns must spread
+        // uniformly over sets or filtered indexing becomes all-or-nothing
+        // for a given stride.
+        let mut x = trigger.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// The fixed index function (matching the maximum partition size).
+    /// With skewed indexing, half of the triggers are biased toward the
+    /// sets that remain allocated at small sizes.
+    pub fn set_of(&self, trigger: Line) -> usize {
+        let h = Self::hash(trigger);
+        let mut set = (h as usize) & (self.cfg.llc_sets - 1);
+        if self.cfg.skewed && (h >> 48) & 1 == 0 {
+            // Snap half the triggers to every-4th sets (allocated even
+            // at Quarter size).
+            set &= !3;
+        }
+        if !self.cfg.filtering {
+            // Unfiltered (RTS): the index function tracks the *current*
+            // size, compressing onto allocated sets — which is exactly
+            // why it must rearrange on resize.
+            let (stride, _) = self.geometry(self.size);
+            set &= !((1usize << stride) - 1);
+        }
+        set
+    }
+
+    fn partial_tag(&self, trigger: Line) -> u16 {
+        (Self::hash(trigger) >> 20) as u16 & ((1 << self.cfg.partial_tag_bits) - 1) as u16
+    }
+
+    /// Current partition size.
+    pub fn size(&self) -> PartitionSize {
+        self.size
+    }
+
+    /// The partition spec the LLC should apply for this store.
+    pub fn partition_spec(&self) -> PartitionSpec {
+        if self.cfg.dedicated {
+            return PartitionSpec::Dedicated;
+        }
+        let (stride, ways) = self.geometry(self.size);
+        PartitionSpec::Sets {
+            every_log2: stride,
+            ways: ways as u8,
+        }
+    }
+
+    /// Would `trigger` be filtered out at the current size?
+    pub fn would_filter(&self, trigger: Line) -> bool {
+        self.cfg.filtering && !self.allocated_at(self.set_of(trigger), self.size)
+    }
+
+    /// Inserts a completed stream entry.
+    pub fn insert(&mut self, entry: StreamEntry, pc_hash: u8) -> StoreInsert {
+        let set_idx = self.set_of(entry.trigger);
+        if self.would_filter(entry.trigger) {
+            return StoreInsert::Filtered;
+        }
+        self.clock += 1;
+        let cap = self.entries_cap(self.size);
+        let tag = self.partial_tag(entry.trigger);
+        let tpmj = self.cfg.tpmj;
+        let tsp = self.cfg.tsp;
+        let stream_len = self.cfg.stream_len;
+        // TP-Mockingjay: sampled sets train the reuse predictor on the
+        // first correlation of each completed entry (Section IV-E5).
+        if tpmj && set_idx % 256 == 0 {
+            if let Some(&first) = entry.targets.first() {
+                let key = Self::hash(entry.trigger) ^ (first.0 << 1);
+                self.sampler.observe(key, pc_hash);
+            }
+        }
+        let etr = if tpmj {
+            let pred = self.sampler.predict(pc_hash);
+            Some(self.sampler.etr_for(pred, 3))
+        } else {
+            None
+        };
+
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        if set.slots.len() < cap {
+            set.slots.resize_with(cap, || None);
+        }
+        if tpmj && set.etr.is_none() {
+            set.etr = Some(EtrSet::new(cap, 8));
+        }
+        if let Some(e) = set.etr.as_mut() {
+            e.tick();
+        }
+
+        // Count redundant correlations already present in this set.
+        let new_pairs = entry.pairs();
+        let mut redundant_pairs = 0;
+        for slot in set.slots[..cap].iter().flatten() {
+            if slot.entry.trigger == entry.trigger {
+                continue; // same trigger: an overwrite, handled below
+            }
+            let existing = slot.entry.pairs();
+            redundant_pairs += new_pairs.iter().filter(|p| existing.contains(p)).count();
+        }
+
+        // Placement: overwrite same trigger; else honour partial-tag
+        // aliasing (aliased entries must share a way — we model the
+        // replacement constraint by reusing the aliased slot); else an
+        // empty slot; else the policy victim.
+        let way_group = |slot_idx: usize| slot_idx / stream_len.max(1);
+        let placement_ok = |slot_idx: usize| {
+            if tsp {
+                true
+            } else {
+                // Way-partitioned (non-TSP): placement restricted to one
+                // way group chosen by the trigger hash → effective
+                // associativity of a single way.
+                let groups = (cap / stream_len.max(1)).max(1);
+                way_group(slot_idx)
+                    == (Self::hash(entry.trigger) >> 12) as usize % groups
+            }
+        };
+
+        let mut victim: Option<usize> = None;
+        for (i, s) in set.slots[..cap].iter().enumerate() {
+            match s {
+                Some(sl) if sl.entry.trigger == entry.trigger => {
+                    victim = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        // Partial-tag aliasing (Section V-D5): an aliased trigger must
+        // share the aliased entry's LLC way, constraining placement to
+        // that way group (4 entries per way).
+        let mut alias_group: Option<usize> = None;
+        if victim.is_none() && tsp {
+            if let Some(i) = set.slots[..cap].iter().position(|s| {
+                s.as_ref()
+                    .is_some_and(|sl| sl.partial_tag == tag && sl.entry.trigger != entry.trigger)
+            }) {
+                self.alias_conflicts += 1;
+                alias_group = Some(i / stream_len.max(1));
+            }
+        }
+        let group_ok = |i: usize| {
+            alias_group.is_none_or(|g| i / stream_len.max(1) == g)
+        };
+        if victim.is_none() {
+            victim = set.slots[..cap]
+                .iter()
+                .enumerate()
+                .position(|(i, s)| s.is_none() && placement_ok(i) && group_ok(i));
+        }
+        set.inserts_since_hit = set.inserts_since_hit.saturating_add(1);
+        if set.inserts_since_hit as usize > 4 * cap {
+            set.inserts_since_hit = 0; // stale retained subset: resample
+        }
+        let thrashing = tpmj && set.inserts_since_hit as usize > cap;
+        let victim = victim.unwrap_or_else(|| {
+            let all: Vec<usize> = (0..cap)
+                .filter(|&i| placement_ok(i) && group_ok(i))
+                .collect();
+            let candidates: Vec<usize> = if thrashing {
+                // Thrash protection (TP-MIN behaviour): churn only the
+                // last probation slots; retain the resident majority.
+                let probation = (cap / 8).max(1);
+                let p: Vec<usize> =
+                    all.iter().copied().filter(|&i| i >= cap - probation).collect();
+                if p.is_empty() {
+                    all
+                } else {
+                    p
+                }
+            } else {
+                all
+            };
+            if tpmj {
+                // ETR victim among allowed slots: farthest predicted
+                // reuse, overdue (negative) preferred on ties.
+                let e = set.etr.as_ref().expect("etr initialised");
+                candidates
+                    .iter()
+                    .copied()
+                    .max_by_key(|&i| {
+                        let v = e.etr_value(i);
+                        (v.unsigned_abs(), v < 0)
+                    })
+                    .expect("candidates nonempty")
+            } else {
+                candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| set.slots[i].as_ref().map(|s| s.lru).unwrap_or(0))
+                    .expect("candidates nonempty")
+            }
+        });
+
+        let redundant = set.slots[victim]
+            .as_ref()
+            .is_some_and(|s| s.entry == entry);
+        set.slots[victim] = Some(Slot {
+            entry,
+            partial_tag: tag,
+            lru: clock,
+        });
+        if let Some(e) = set.etr.as_mut() {
+            e.fill(victim, etr.unwrap_or(0));
+        }
+        StoreInsert::Stored {
+            redundant_pairs: redundant_pairs + usize::from(redundant),
+        }
+    }
+
+    /// Looks up the stream entry whose trigger is `trigger`, refreshing
+    /// replacement state and crediting the per-size hit counters.
+    pub fn lookup(&mut self, trigger: Line, pc_hash: u8) -> Option<StreamEntry> {
+        self.lookups += 1;
+        let set_idx = self.set_of(trigger);
+        if self.cfg.filtering && !self.allocated_at(set_idx, self.size) {
+            return None;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let cap = self.entries_cap(self.size);
+        let etr_refresh = if self.cfg.tpmj {
+            let pred = self.sampler.predict(pc_hash);
+            Some(self.sampler.etr_for(pred, 3))
+        } else {
+            None
+        };
+        let mut credit = [false; 4];
+        for s in ALL_SIZES {
+            credit[size_rank(s)] = self.allocated_at(set_idx, s);
+        }
+        let set = &mut self.sets[set_idx];
+        let pos = set.slots[..cap.min(set.slots.len())]
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|sl| sl.entry.trigger == trigger))?;
+        let slot = set.slots[pos].as_mut().expect("present");
+        slot.lru = clock;
+        set.inserts_since_hit = set.inserts_since_hit.saturating_sub(4);
+        if let Some(e) = set.etr.as_mut() {
+            e.tick();
+            e.hit(pos, etr_refresh.unwrap_or(0));
+        }
+        // One stream-entry hit supplies a whole entry's worth of
+        // correlations (a pairwise store would need one hit per pair),
+        // so utility accounting credits per correlation supplied.
+        let worth = slot.entry.correlations().max(1) as u64;
+        for (rank, c) in credit.iter().enumerate() {
+            if *c {
+                self.credit[rank] += worth;
+            }
+        }
+        Some(slot.entry.clone())
+    }
+
+    /// Reads the first target stored for `trigger` without touching any
+    /// replacement state (training-time measurement).
+    pub fn peek_first_target(&self, trigger: Line) -> Option<Line> {
+        let set_idx = self.set_of(trigger);
+        self.sets[set_idx]
+            .slots
+            .iter()
+            .flatten()
+            .find(|s| s.entry.trigger == trigger)
+            .and_then(|s| s.entry.targets.first().copied())
+    }
+
+    /// Resizes the partition.
+    pub fn set_size(&mut self, size: PartitionSize) -> ResizeReport {
+        if size == self.size {
+            return ResizeReport::default();
+        }
+        let mut report = ResizeReport::default();
+        if self.cfg.filtering {
+            // Filtered indexing: no index change; entries whose set left
+            // the partition are simply dropped.
+            self.size = size;
+            for (i, set) in self.sets.iter_mut().enumerate() {
+                let (stride, _) = if self.cfg.hybrid && size == PartitionSize::Quarter {
+                    (1u8, 0)
+                } else {
+                    (size.stride_log2(), 0)
+                };
+                let allocated = i & ((1usize << stride) - 1) == 0;
+                if !allocated {
+                    report.dropped_entries +=
+                        set.slots.iter().filter(|s| s.is_some()).count();
+                    set.slots.clear();
+                    set.etr = None;
+                }
+            }
+        } else {
+            // Unfiltered (RTS): the index function changes with the size,
+            // so every surviving entry moves — rearrangement traffic.
+            let mut entries: Vec<(StreamEntry, u16)> = Vec::new();
+            for set in &mut self.sets {
+                for s in set.slots.drain(..).flatten() {
+                    entries.push((s.entry, s.partial_tag));
+                }
+                set.etr = None;
+            }
+            self.size = size;
+            let stream_len = self.cfg.stream_len.max(1);
+            report.moved_blocks = entries.len().div_ceil(
+                (StreamlineConfig::correlations_per_block(self.cfg.stream_len) / stream_len)
+                    .max(1),
+            );
+            let cap = self.entries_cap(size);
+            for (entry, tag) in entries {
+                let set_idx = self.set_of(entry.trigger);
+                let set = &mut self.sets[set_idx];
+                if set.slots.len() < cap {
+                    set.slots.resize_with(cap, || None);
+                }
+                self.clock += 1;
+                if let Some(free) = set.slots.iter().position(|s| s.is_none()) {
+                    set.slots[free] = Some(Slot {
+                        entry,
+                        partial_tag: tag,
+                        lru: self.clock,
+                    });
+                } else {
+                    report.dropped_entries += 1;
+                }
+            }
+        }
+        report
+    }
+
+    /// Valid entries stored.
+    pub fn valid_entries(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.slots.iter().filter(|x| x.is_some()).count())
+            .sum()
+    }
+
+    /// Valid entries in 64-byte blocks.
+    pub fn valid_blocks(&self) -> usize {
+        let per_block = (StreamlineConfig::correlations_per_block(self.cfg.stream_len)
+            / self.cfg.stream_len.max(1))
+        .max(1);
+        self.valid_entries().div_ceil(per_block)
+    }
+
+    /// Estimated lookup hits a partition of `size` would capture since
+    /// the last reset.
+    ///
+    /// For sizes **at or below** the current partition, the estimate is a
+    /// real measurement: hits in the sets that size's allocation
+    /// contains, which naturally embeds capacity pressure. For sizes
+    /// **above** the current partition (whose extra sets hold nothing),
+    /// the current size's measured hits are scaled up linearly — the
+    /// optimistic probe that lets a shrunken store regrow, anchored by
+    /// the 64 permanently allocated sample sets (paper Section IV-E4).
+    pub fn hits_at(&self, size: PartitionSize) -> u64 {
+        let (stride, _) = self.geometry(size);
+        let (cur_stride, _) = self.geometry(self.size);
+        if stride >= cur_stride {
+            // Smaller-or-equal partition: real subset measurement.
+            self.credit[size_rank(size)]
+        } else {
+            // Larger partition: scale the current measurement up.
+            self.credit[size_rank(self.size)] << (cur_stride - stride)
+        }
+    }
+
+    /// Lookups since the last reset.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Partial-tag alias conflicts observed (Section V-D5).
+    pub fn alias_conflicts(&self) -> u64 {
+        self.alias_conflicts
+    }
+
+    /// Clears the epoch counters.
+    pub fn reset_epoch(&mut self) {
+        self.credit = [0; 4];
+        self.lookups = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trigger: u64, base: u64) -> StreamEntry {
+        StreamEntry::new(
+            Line(trigger),
+            (1..=4).map(|i| Line(base + i)).collect(),
+        )
+    }
+
+    fn store(cfg: StreamlineConfig) -> StreamStore {
+        StreamStore::new(cfg)
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let mut s = store(StreamlineConfig::default());
+        let e = entry(100, 200);
+        assert!(matches!(s.insert(e.clone(), 1), StoreInsert::Stored { .. }));
+        assert_eq!(s.lookup(Line(100), 1), Some(e));
+        assert_eq!(s.lookup(Line(101), 1), None);
+    }
+
+    #[test]
+    fn full_size_never_filters() {
+        let s = store(StreamlineConfig::default());
+        for t in 0..1000u64 {
+            assert!(!s.would_filter(Line(t * 77)));
+        }
+    }
+
+    #[test]
+    fn half_size_filters_about_half() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.fixed_size = Some(PartitionSize::Half);
+        let s = store(cfg);
+        let filtered = (0..4000u64)
+            .filter(|&t| s.would_filter(Line(t * 131)))
+            .count();
+        assert!(
+            (1400..2600).contains(&filtered),
+            "expected ~half filtered: {filtered}"
+        );
+    }
+
+    #[test]
+    fn skewed_indexing_reduces_small_size_filtering() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.fixed_size = Some(PartitionSize::Quarter);
+        let plain = store(cfg);
+        cfg.skewed = true;
+        let skewed = store(cfg);
+        let count = |s: &StreamStore| {
+            (0..4000u64)
+                .filter(|&t| s.would_filter(Line(t * 131)))
+                .count()
+        };
+        assert!(
+            count(&skewed) < count(&plain) * 3 / 4,
+            "skew should cut filtering: {} vs {}",
+            count(&skewed),
+            count(&plain)
+        );
+    }
+
+    #[test]
+    fn hybrid_quarter_filters_half_not_three_quarters() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.fixed_size = Some(PartitionSize::Quarter);
+        cfg.hybrid = true;
+        let s = store(cfg);
+        let filtered = (0..4000u64)
+            .filter(|&t| s.would_filter(Line(t * 131)))
+            .count();
+        assert!(
+            (1400..2600).contains(&filtered),
+            "hybrid quarter should filter ~50%: {filtered}"
+        );
+        let (stride, ways) = s.geometry(PartitionSize::Quarter);
+        assert_eq!((stride, ways), (1, 4));
+    }
+
+    #[test]
+    fn filtered_resize_drops_without_moving() {
+        let mut s = store(StreamlineConfig::default());
+        for t in 0..2000u64 {
+            s.insert(entry(t * 97, t), 1);
+        }
+        let before = s.valid_entries();
+        let r = s.set_size(PartitionSize::Half);
+        assert_eq!(r.moved_blocks, 0, "filtered indexing never shuffles");
+        assert!(r.dropped_entries > 0);
+        assert!(s.valid_entries() < before);
+    }
+
+    #[test]
+    fn unfiltered_resize_moves_blocks() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.filtering = false;
+        cfg.realignment = false;
+        let mut s = store(cfg);
+        for t in 0..2000u64 {
+            s.insert(entry(t * 97, t), 1);
+        }
+        let r = s.set_size(PartitionSize::Half);
+        assert!(r.moved_blocks > 0, "RTS must rearrange on resize");
+    }
+
+    #[test]
+    fn per_size_hit_estimates_measure_down_and_extrapolate_up() {
+        let mut s = store(StreamlineConfig::default());
+        for t in 0..4096u64 {
+            s.insert(entry(t * 257, t), 1);
+        }
+        for t in 0..4096u64 {
+            s.lookup(Line(t * 257), 1);
+        }
+        // At Full, smaller sizes are real subset measurements.
+        let full = s.hits_at(PartitionSize::Full);
+        let half = s.hits_at(PartitionSize::Half);
+        let samples = s.hits_at(PartitionSize::SamplesOnly);
+        assert!(full > 0 && half > 0 && samples > 0);
+        assert!(half < full, "subset measurement: {half} !< {full}");
+        assert!(samples < half);
+        // Half-allocated sets hold about half the uniform hits.
+        let ratio = half as f64 / full as f64;
+        assert!((0.3..0.7).contains(&ratio), "ratio {ratio}");
+        s.reset_epoch();
+        assert_eq!(s.hits_at(PartitionSize::Full), 0);
+        // From a small current size, bigger sizes extrapolate upward.
+        let mut cfg = StreamlineConfig::default();
+        cfg.fixed_size = Some(PartitionSize::Half);
+        let mut sm = store(cfg);
+        for t in 0..4096u64 {
+            sm.insert(entry(t * 257, t), 1);
+        }
+        for t in 0..4096u64 {
+            sm.lookup(Line(t * 257), 1);
+        }
+        let h = sm.hits_at(PartitionSize::Half);
+        assert_eq!(sm.hits_at(PartitionSize::Full), h * 2);
+    }
+
+    #[test]
+    fn capacity_eviction_keeps_set_bounded() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.llc_sets = 2; // tiny store: 2 sets x 32 entries
+        let mut s = store(cfg);
+        for t in 0..500u64 {
+            s.insert(entry(t, t * 10), 3);
+        }
+        assert!(s.valid_entries() <= 2 * 32);
+    }
+
+    #[test]
+    fn non_tsp_mode_has_lower_effective_associativity() {
+        // With way-partitioned placement, conflicting triggers thrash a
+        // single way group; TSP absorbs them in the full 32-entry set.
+        let mut base = StreamlineConfig::default();
+        base.llc_sets = 1;
+        base.tpmj = false;
+        let mut tsp_cfg = base;
+        tsp_cfg.tsp = true;
+        let mut way_cfg = base;
+        way_cfg.tsp = false;
+        let mut tsp = store(tsp_cfg);
+        let mut way = store(way_cfg);
+        // 24 triggers fit in 32 entries; loop them twice.
+        let hits = |s: &mut StreamStore| {
+            let mut h = 0;
+            for round in 0..3 {
+                for t in 0..24u64 {
+                    if round > 0 && s.lookup(Line(t * 1009), 1).is_some() {
+                        h += 1;
+                    }
+                    s.insert(entry(t * 1009, t), 1);
+                }
+            }
+            h
+        };
+        let h_tsp = hits(&mut tsp);
+        let h_way = hits(&mut way);
+        assert!(
+            h_tsp > h_way,
+            "TSP should reduce conflict misses: {h_tsp} vs {h_way}"
+        );
+    }
+
+    #[test]
+    fn alias_conflicts_are_rare_with_6_bit_tags() {
+        let mut s = store(StreamlineConfig::default());
+        for t in 0..20_000u64 {
+            s.insert(entry(t * 613, t), (t % 200) as u8);
+        }
+        let rate = s.alias_conflicts() as f64 / 20_000.0;
+        assert!(rate < 0.15, "alias rate {rate} too high");
+    }
+
+    #[test]
+    fn redundant_pair_detection() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.llc_sets = 1;
+        let mut s = store(cfg);
+        s.insert(entry(1, 100), 1); // pairs (1,101),(101,102)...
+        // Another entry sharing pairs (101,102).
+        let dup = StreamEntry::new(Line(50), vec![Line(101), Line(102), Line(9), Line(10)]);
+        match s.insert(dup, 1) {
+            StoreInsert::Stored { redundant_pairs } => {
+                assert!(redundant_pairs >= 1, "shared pair should be flagged")
+            }
+            StoreInsert::Filtered => panic!("unexpected filter"),
+        }
+    }
+}

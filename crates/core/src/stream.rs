@@ -1,0 +1,185 @@
+//! Stream entries — the paper's core metadata representation — and the
+//! stream-alignment operation (Section IV-B2, Figures 3 and 4).
+
+use tptrace::record::Line;
+
+/// One stream-based metadata entry: a trigger address followed by up to
+/// `stream_len` correlated targets.
+///
+/// An entry for the access stream `[A, B, C, D, E]` is
+/// `trigger = A, targets = [B, C, D, E]` and represents the four
+/// correlations A→B, B→C, C→D, D→E — where a pairwise store would spend
+/// eight address slots, the stream entry spends five.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamEntry {
+    /// Trigger address.
+    pub trigger: Line,
+    /// Correlated targets, in stream order.
+    pub targets: Vec<Line>,
+}
+
+impl StreamEntry {
+    /// Creates an entry.
+    pub fn new(trigger: Line, targets: Vec<Line>) -> Self {
+        StreamEntry { trigger, targets }
+    }
+
+    /// All addresses in stream order (trigger first).
+    pub fn addresses(&self) -> impl Iterator<Item = Line> + '_ {
+        std::iter::once(self.trigger).chain(self.targets.iter().copied())
+    }
+
+    /// Number of correlations the entry holds.
+    pub fn correlations(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The final address of the stream.
+    pub fn last(&self) -> Line {
+        self.targets.last().copied().unwrap_or(self.trigger)
+    }
+
+    /// Position of `line` in the entry (0 = trigger), if present.
+    pub fn position_of(&self, line: Line) -> Option<usize> {
+        self.addresses().position(|a| a == line)
+    }
+
+    /// The targets that follow `line` within this entry.
+    pub fn successors_of(&self, line: Line) -> &[Line] {
+        match self.position_of(line) {
+            Some(0) => &self.targets,
+            Some(p) => &self.targets[p..],
+            None => &[],
+        }
+    }
+
+    /// The correlation pairs `(a, b)` the entry encodes.
+    pub fn pairs(&self) -> Vec<(Line, Line)> {
+        let addrs: Vec<Line> = self.addresses().collect();
+        addrs.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+}
+
+/// Result of [`align`]: the merged entry plus the leftover targets that
+/// bootstrap the next stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// The aligned entry (old trigger, updated correlations).
+    pub aligned: StreamEntry,
+    /// New-entry targets that did not fit; they seed the next stream.
+    pub leftover: Vec<Line>,
+}
+
+/// Performs stream alignment between an `old` entry and a freshly
+/// completed `new` entry whose trigger appears inside `old`
+/// (Figures 3b and 4b).
+///
+/// The aligned entry keeps `old`'s trigger and the prefix of `old` up to
+/// `new`'s trigger, then takes **`new`'s updated correlations** — fixing
+/// stale metadata (Figure 4: `[A,B,C,D,E]` + new `[B,C,X,Y,…]` →
+/// `[A,B,C,X,Y]`). Targets that no longer fit are returned as leftovers.
+///
+/// Returns `None` when `new.trigger` is not in `old`, or only appears as
+/// `old`'s final address (no overlap to merge — the paper skips these).
+pub fn align(old: &StreamEntry, new: &StreamEntry, stream_len: usize) -> Option<Alignment> {
+    let pos = old.position_of(new.trigger)?;
+    let old_addrs: Vec<Line> = old.addresses().collect();
+    if pos == old_addrs.len() - 1 {
+        return None; // trigger is old's final address: no overlap
+    }
+    // Merged address sequence: old prefix through new.trigger, then
+    // new's targets (the up-to-date continuation).
+    let mut merged: Vec<Line> = old_addrs[..=pos].to_vec();
+    merged.extend(new.targets.iter().copied());
+    let keep = (stream_len + 1).min(merged.len());
+    let aligned = StreamEntry::new(merged[0], merged[1..keep].to_vec());
+    let leftover = merged[keep..].to_vec();
+    Some(Alignment { aligned, leftover })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(trigger: u64, targets: &[u64]) -> StreamEntry {
+        StreamEntry::new(Line(trigger), targets.iter().map(|&t| Line(t)).collect())
+    }
+
+    #[test]
+    fn entry_accessors() {
+        let s = e(1, &[2, 3, 4, 5]);
+        assert_eq!(s.correlations(), 4);
+        assert_eq!(s.last(), Line(5));
+        assert_eq!(s.position_of(Line(3)), Some(2));
+        assert_eq!(s.successors_of(Line(3)), &[Line(4), Line(5)]);
+        assert_eq!(s.successors_of(Line(1)).len(), 4);
+        assert_eq!(s.successors_of(Line(99)), &[] as &[Line]);
+        assert_eq!(s.pairs().len(), 4);
+    }
+
+    #[test]
+    fn figure3_alignment_merges_overlap() {
+        // Old [A,B,C,D,E], new [B,C,D,E,F] -> aligned [A,B,C,D,E],
+        // leftover [F].
+        let old = e(10, &[20, 30, 40, 50]);
+        let new = e(20, &[30, 40, 50, 60]);
+        let a = align(&old, &new, 4).expect("aligns");
+        assert_eq!(a.aligned, e(10, &[20, 30, 40, 50]));
+        assert_eq!(a.leftover, vec![Line(60)]);
+    }
+
+    #[test]
+    fn figure4_alignment_fixes_stale_metadata() {
+        // Old [A,B,C,D,E]; the stream changed to [A,B,C,X,Y]. New entry
+        // completed as [B,C,X,Y,Z]? Use the paper's smaller case:
+        // new [B | C,X,Y] -> aligned [A | B,C,X,Y].
+        let old = e(1, &[2, 3, 4, 5]);
+        let new = e(2, &[3, 40, 50]);
+        let a = align(&old, &new, 4).expect("aligns");
+        assert_eq!(a.aligned, e(1, &[2, 3, 40, 50]));
+        assert!(a.leftover.is_empty());
+        // The stale correlations 3->4, 4->5 are gone.
+        assert!(!a.aligned.pairs().contains(&(Line(3), Line(4))));
+    }
+
+    #[test]
+    fn trigger_as_final_address_is_skipped() {
+        // Old [A,B,C,D,E], new triggered by E: no overlap to merge.
+        let old = e(1, &[2, 3, 4, 5]);
+        let new = e(5, &[6, 7, 8, 9]);
+        assert!(align(&old, &new, 4).is_none());
+    }
+
+    #[test]
+    fn unrelated_entries_do_not_align() {
+        let old = e(1, &[2, 3, 4, 5]);
+        let new = e(100, &[101, 102, 103, 104]);
+        assert!(align(&old, &new, 4).is_none());
+    }
+
+    #[test]
+    fn deep_overlap_produces_more_leftovers() {
+        // New trigger sits early in old: most of new spills over.
+        let old = e(1, &[2, 3, 4, 5]);
+        let new = e(2, &[30, 40, 50, 60]);
+        let a = align(&old, &new, 4).expect("aligns");
+        assert_eq!(a.aligned, e(1, &[2, 30, 40, 50]));
+        assert_eq!(a.leftover, vec![Line(60)]);
+    }
+
+    #[test]
+    fn alignment_never_loses_new_correlations() {
+        // Every pair of the new entry must appear in aligned+leftover
+        // (with the leftover chain continuing from aligned's last).
+        let old = e(1, &[2, 3, 4, 5]);
+        let new = e(3, &[41, 51, 61, 71]);
+        let a = align(&old, &new, 4).expect("aligns");
+        let mut chain: Vec<Line> = a.aligned.addresses().collect();
+        chain.extend(a.leftover.iter().copied());
+        let merged_pairs: Vec<(Line, Line)> =
+            chain.windows(2).map(|w| (w[0], w[1])).collect();
+        for p in new.pairs() {
+            assert!(merged_pairs.contains(&p), "lost correlation {p:?}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Experiment descriptions and runners.
+
+use crate::baselines::{L1Kind, L2Kind, TemporalKind};
+use tpsim::{CorePlan, Engine, SimReport, SystemConfig};
+use tptrace::{Mix, Scale, Workload};
+
+/// A complete experiment configuration: which prefetchers run at each
+/// level, at what scale, on what system.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Trace scale.
+    pub scale: Scale,
+    /// L1D prefetcher.
+    pub l1: L1Kind,
+    /// Regular L2 prefetcher.
+    pub l2: L2Kind,
+    /// Temporal prefetcher.
+    pub temporal: TemporalKind,
+    /// DRAM bandwidth scaling factor (Figure 10c).
+    pub bandwidth_factor: f64,
+    /// Warmup fraction of each trace.
+    pub warmup: f64,
+}
+
+impl Experiment {
+    /// A bare experiment (no prefetchers) at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        Experiment {
+            scale,
+            l1: L1Kind::None,
+            l2: L2Kind::None,
+            temporal: TemporalKind::None,
+            bandwidth_factor: 1.0,
+            warmup: 0.2,
+        }
+    }
+
+    /// Sets the L1 prefetcher.
+    pub fn l1(mut self, l1: L1Kind) -> Self {
+        self.l1 = l1;
+        self
+    }
+
+    /// Sets the regular L2 prefetcher.
+    pub fn l2(mut self, l2: L2Kind) -> Self {
+        self.l2 = l2;
+        self
+    }
+
+    /// Sets the temporal prefetcher.
+    pub fn temporal(mut self, t: TemporalKind) -> Self {
+        self.temporal = t;
+        self
+    }
+
+    /// Scales DRAM bandwidth (Figure 10c).
+    pub fn bandwidth(mut self, factor: f64) -> Self {
+        self.bandwidth_factor = factor;
+        self
+    }
+
+    fn plan(&self, w: &Workload) -> CorePlan {
+        let mut plan = CorePlan::bare(w.generate(self.scale));
+        if let Some(p) = self.l1.build() {
+            plan = plan.with_l1(p);
+        }
+        if let Some(p) = self.l2.build() {
+            plan = plan.with_l2(p);
+        }
+        if let Some(p) = self.temporal.build() {
+            plan = plan.with_temporal(p);
+        }
+        plan
+    }
+
+    fn system(&self, cores: usize) -> SystemConfig {
+        SystemConfig::with_cores(cores).with_bandwidth_factor(self.bandwidth_factor)
+    }
+}
+
+/// Runs a single-core experiment on one workload.
+pub fn run_single(workload: &Workload, exp: &Experiment) -> SimReport {
+    Engine::new(exp.system(1), vec![exp.plan(workload)])
+        .warmup_fraction(exp.warmup)
+        .run()
+}
+
+/// Runs a multi-core experiment on a mix (one workload per core; each
+/// core gets its own prefetcher instances).
+pub fn run_mix(mix: &Mix, exp: &Experiment) -> SimReport {
+    let plans: Vec<CorePlan> = mix.workloads.iter().map(|w| exp.plan(w)).collect();
+    Engine::new(exp.system(mix.cores()), plans)
+        .warmup_fraction(exp.warmup)
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tptrace::{workloads, MixGenerator};
+
+    #[test]
+    fn single_core_run_is_sane() {
+        let w = workloads::by_name("spec06.bzip2").unwrap();
+        let exp = Experiment::new(Scale::Test).l1(L1Kind::Stride);
+        let r = run_single(&w, &exp);
+        assert_eq!(r.cores.len(), 1);
+        assert!(r.cores[0].ipc() > 0.0);
+    }
+
+    #[test]
+    fn temporal_prefetcher_attaches_and_reports() {
+        let w = workloads::by_name("spec06.xalancbmk").unwrap();
+        let exp = Experiment::new(Scale::Test)
+            .l1(L1Kind::Stride)
+            .temporal(TemporalKind::Streamline);
+        let r = run_single(&w, &exp);
+        assert!(r.cores[0].temporal.trigger_lookups > 0);
+    }
+
+    #[test]
+    fn mix_run_covers_all_cores() {
+        let mix = &MixGenerator::new(5).mixes(2, 1)[0];
+        let exp = Experiment::new(Scale::Test).l1(L1Kind::Stride);
+        let r = run_mix(mix, &exp);
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores.iter().all(|c| c.instructions > 0));
+    }
+
+    #[test]
+    fn bandwidth_factor_passes_through() {
+        let w = workloads::by_name("spec06.libquantum").unwrap();
+        let narrow = run_single(&w, &Experiment::new(Scale::Test).bandwidth(0.25));
+        let wide = run_single(&w, &Experiment::new(Scale::Test).bandwidth(2.0));
+        assert!(
+            wide.cores[0].ipc() > narrow.cores[0].ipc(),
+            "more bandwidth should help a stream: {} vs {}",
+            wide.cores[0].ipc(),
+            narrow.cores[0].ipc()
+        );
+    }
+}

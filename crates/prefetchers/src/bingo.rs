@@ -1,0 +1,184 @@
+//! Bingo-style spatial-footprint prefetcher (Bakhshalipour et al., HPCA
+//! 2019), used as an L2 baseline in Figure 11c/d.
+//!
+//! Bingo records the *footprint* (bitmap of touched lines) of each
+//! spatial region and replays it when the region is re-entered, indexing
+//! history with a long event (PC + region offset) but falling back to a
+//! short event (PC only) — here we keep the two-event association in a
+//! compact form: history is stored under `PC ⊕ trigger-offset` and also
+//! under `PC`, and lookup prefers the long key.
+
+use std::collections::HashMap;
+use tpsim::AccessPrefetcher;
+use tptrace::record::{Line, Pc};
+
+/// Lines per spatial region (2 KB regions of 64-byte lines).
+pub const REGION_LINES: u64 = 32;
+
+#[derive(Clone, Copy, Debug)]
+struct ActiveRegion {
+    pc: u64,
+    trigger_offset: u8,
+    footprint: u32,
+    accesses: u32,
+    /// Insertion order for oldest-first generation closure.
+    epoch: u64,
+}
+
+/// The Bingo spatial prefetcher.
+#[derive(Clone, Debug, Default)]
+pub struct Bingo {
+    /// Regions currently being observed: region -> generation state.
+    active: HashMap<u64, ActiveRegion>,
+    /// Footprint history: long/short event key -> footprint bitmap.
+    history: HashMap<u64, u32>,
+    /// Bound on history entries (capacity control).
+    max_history: usize,
+    epoch: u64,
+}
+
+impl Bingo {
+    /// Creates a Bingo prefetcher with a 4K-entry history bound.
+    pub fn new() -> Self {
+        Bingo {
+            max_history: 4096,
+            ..Default::default()
+        }
+    }
+
+    fn long_key(pc: u64, offset: u8) -> u64 {
+        (pc << 6) ^ offset as u64 ^ 0xb1b0
+    }
+
+    fn short_key(pc: u64) -> u64 {
+        pc ^ 0x5151_5151
+    }
+}
+
+impl AccessPrefetcher for Bingo {
+    fn name(&self) -> &'static str {
+        "bingo"
+    }
+
+    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool) -> Vec<Line> {
+        let region = line.0 / REGION_LINES;
+        let offset = (line.0 % REGION_LINES) as u8;
+        let base = region * REGION_LINES;
+
+        if let Some(ar) = self.active.get_mut(&region) {
+            // Ongoing generation: accumulate the footprint.
+            ar.footprint |= 1 << offset;
+            ar.accesses += 1;
+            // Close out very long generations to bound state.
+            if ar.accesses >= REGION_LINES as u32 * 2 {
+                let ar = self.active.remove(&region).expect("present");
+                self.commit(ar);
+            }
+            return Vec::new();
+        }
+
+        // Region trigger: commit the oldest generation if we're full.
+        if self.active.len() >= 64 {
+            let oldest = *self
+                .active
+                .iter()
+                .min_by_key(|(_, ar)| ar.epoch)
+                .map(|(r, _)| r)
+                .expect("nonempty");
+            let ar = self.active.remove(&oldest).expect("present");
+            self.commit(ar);
+        }
+        self.epoch += 1;
+        self.active.insert(
+            region,
+            ActiveRegion {
+                pc: pc.0,
+                trigger_offset: offset,
+                footprint: 1 << offset,
+                accesses: 1,
+                epoch: self.epoch,
+            },
+        );
+
+        // Predict from history: long event first, then short.
+        let footprint = self
+            .history
+            .get(&Self::long_key(pc.0, offset))
+            .or_else(|| self.history.get(&Self::short_key(pc.0)))
+            .copied()
+            .unwrap_or(0);
+        let mut out = Vec::new();
+        for bit in 0..REGION_LINES {
+            if footprint & (1 << bit) != 0 && bit != offset as u64 {
+                out.push(Line(base + bit));
+            }
+        }
+        out
+    }
+}
+
+impl Bingo {
+    fn commit(&mut self, ar: ActiveRegion) {
+        if self.history.len() >= self.max_history {
+            self.history.clear();
+        }
+        self.history
+            .insert(Self::long_key(ar.pc, ar.trigger_offset), ar.footprint);
+        self.history.insert(Self::short_key(ar.pc), ar.footprint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_learned_footprint_on_reentry() {
+        let mut b = Bingo::new();
+        // Generation 1: touch lines {0, 3, 7} of region 100.
+        let base = 100 * REGION_LINES;
+        for &o in &[0u64, 3, 7] {
+            b.on_access(Pc(0x400), Line(base + o), false);
+        }
+        // Touch 64 other regions to evict the active generation.
+        for r in 0..64u64 {
+            b.on_access(Pc(0x999), Line((2000 + r) * REGION_LINES), false);
+        }
+        // Re-enter region 100 at the same trigger.
+        let out = b.on_access(Pc(0x400), Line(base), false);
+        assert!(out.contains(&Line(base + 3)), "{out:?}");
+        assert!(out.contains(&Line(base + 7)), "{out:?}");
+        assert!(!out.contains(&Line(base)), "trigger line excluded");
+    }
+
+    #[test]
+    fn short_event_fallback_covers_new_offsets() {
+        let mut b = Bingo::new();
+        let base = 5 * REGION_LINES;
+        for &o in &[1u64, 2, 3] {
+            b.on_access(Pc(7), Line(base + o), false);
+        }
+        for r in 0..64u64 {
+            b.on_access(Pc(8), Line((3000 + r) * REGION_LINES), false);
+        }
+        // Re-entry at a *different* offset with the same PC: short event.
+        let out = b.on_access(Pc(7), Line(base + 2), false);
+        assert!(out.contains(&Line(base + 1)));
+        assert!(out.contains(&Line(base + 3)));
+    }
+
+    #[test]
+    fn unknown_regions_are_silent() {
+        let mut b = Bingo::new();
+        assert!(b.on_access(Pc(1), Line(42), false).is_empty());
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut b = Bingo::new();
+        for r in 0..100_000u64 {
+            b.on_access(Pc(r % 97), Line(r * REGION_LINES), false);
+        }
+        assert!(b.history.len() <= 4096 + 2);
+    }
+}

@@ -1,0 +1,104 @@
+//! Least-recently-used replacement.
+
+use crate::SetPolicy;
+
+/// Classic LRU over a fixed number of ways, tracked with a logical clock.
+///
+/// ```
+/// use tpreplace::{Lru, SetPolicy};
+/// let mut p = Lru::new(4);
+/// for w in 0..4 { p.on_fill(w); }
+/// p.on_hit(0);
+/// let valid = [true; 4];
+/// assert_eq!(p.victim(&valid), 1); // way 1 is now least recent
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lru {
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl Lru {
+    /// Creates an LRU policy over `ways` slots.
+    ///
+    /// # Panics
+    /// Panics if `ways` is zero.
+    pub fn new(ways: usize) -> Self {
+        assert!(ways > 0, "lru needs at least one way");
+        Lru {
+            stamp: vec![0; ways],
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, way: usize) {
+        self.clock += 1;
+        self.stamp[way] = self.clock;
+    }
+}
+
+impl SetPolicy for Lru {
+    fn on_fill(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.touch(way);
+    }
+
+    fn victim(&mut self, valid: &[bool]) -> usize {
+        debug_assert_eq!(valid.len(), self.stamp.len());
+        if let Some(w) = valid.iter().position(|v| !v) {
+            return w;
+        }
+        self.stamp
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(w, _)| w)
+            .expect("nonempty ways")
+    }
+
+    fn ways(&self) -> usize {
+        self.stamp.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut p = Lru::new(3);
+        p.on_fill(0);
+        p.on_fill(1);
+        p.on_fill(2);
+        p.on_hit(0);
+        p.on_hit(1);
+        assert_eq!(p.victim(&[true; 3]), 2);
+    }
+
+    #[test]
+    fn prefers_invalid() {
+        let mut p = Lru::new(3);
+        p.on_fill(0);
+        assert_eq!(p.victim(&[true, false, true]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = Lru::new(0);
+    }
+
+    #[test]
+    fn sequential_fills_cycle_in_fifo_order() {
+        let mut p = Lru::new(2);
+        p.on_fill(0);
+        p.on_fill(1);
+        assert_eq!(p.victim(&[true, true]), 0);
+        p.on_fill(0);
+        assert_eq!(p.victim(&[true, true]), 1);
+    }
+}

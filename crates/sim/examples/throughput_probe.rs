@@ -1,0 +1,9 @@
+fn main() {
+    use tpsim::*; use tptrace::{workloads, Scale};
+    let start = std::time::Instant::now();
+    let w = workloads::by_name("gap.pr").unwrap();
+    let t = w.generate(Scale::Small);
+    let n = t.len();
+    let r = Engine::new(SystemConfig::single_core(), vec![CorePlan::bare(t).with_temporal(Box::new(IdealTemporal::new(4)))]).run();
+    println!("{} accesses in {:?} -> {:.2} M/s, ipc {:.3}, cov {:.2}", n, start.elapsed(), n as f64/start.elapsed().as_secs_f64()/1e6, r.cores[0].ipc(), r.cores[0].l2_coverage());
+}

@@ -1,0 +1,468 @@
+//! Set-associative cache level with LRU replacement, prefetch-bit
+//! tracking, MSHR-limited outstanding misses, port contention, and
+//! (for the LLC) per-set way reservation for prefetcher metadata.
+
+use crate::config::CacheParams;
+use crate::stats::CacheStats;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tptrace::record::Line;
+
+/// Result of a lookup-and-update demand access at one level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present; `first_prefetch_touch` is true when this is the
+    /// first demand touch of a prefetched block.
+    Hit {
+        /// First demand touch of a block installed by a prefetch.
+        first_prefetch_touch: bool,
+    },
+    /// Line absent.
+    Miss,
+}
+
+/// Bounded window of outstanding misses (MSHR model).
+///
+/// `admit(t)` returns the time at which a new miss may be sent
+/// downstream: immediately if a register is free, otherwise when the
+/// earliest outstanding miss completes.
+#[derive(Clone, Debug)]
+pub struct MshrWindow {
+    cap: usize,
+    completions: BinaryHeap<Reverse<u64>>,
+}
+
+impl MshrWindow {
+    /// Creates a window of `cap` registers.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "mshr capacity must be nonzero");
+        MshrWindow {
+            cap,
+            completions: BinaryHeap::new(),
+        }
+    }
+
+    /// Admits a miss arriving at `t`; returns its (possibly delayed)
+    /// start time. Call [`MshrWindow::register`] with the completion time
+    /// afterwards.
+    pub fn admit(&mut self, t: u64) -> u64 {
+        while let Some(&Reverse(c)) = self.completions.peek() {
+            if c <= t {
+                self.completions.pop();
+            } else {
+                break;
+            }
+        }
+        if self.completions.len() < self.cap {
+            t
+        } else {
+            let Reverse(earliest) = self.completions.pop().expect("nonempty");
+            t.max(earliest)
+        }
+    }
+
+    /// Registers an admitted miss's completion time.
+    pub fn register(&mut self, completion: u64) {
+        self.completions.push(Reverse(completion));
+    }
+
+    /// Outstanding misses not yet known-complete.
+    pub fn outstanding(&self) -> usize {
+        self.completions.len()
+    }
+}
+
+/// One cache level.
+#[derive(Clone, Debug)]
+pub struct CacheLevel {
+    params: CacheParams,
+    sets: usize,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    prefetched: Vec<bool>,
+    lru: Vec<u64>,
+    clock: u64,
+    /// Per-set ways reserved for prefetcher metadata (LLC only; zero
+    /// elsewhere). Data may only occupy ways `< ways - reserved`.
+    reserved: Vec<u8>,
+    /// When set (LLC), prefetch-filled blocks that were never demanded
+    /// are victimised before demand blocks — the distant-re-reference
+    /// insertion hardware LLCs use to bound prefetch pollution.
+    prefetch_low_priority: bool,
+    ports: Vec<u64>,
+    /// Outstanding miss window.
+    pub mshr: MshrWindow,
+    stats: CacheStats,
+}
+
+impl CacheLevel {
+    /// Builds a level from parameters.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        let slots = sets * params.ways;
+        CacheLevel {
+            sets,
+            tags: vec![0; slots],
+            valid: vec![false; slots],
+            dirty: vec![false; slots],
+            prefetched: vec![false; slots],
+            lru: vec![0; slots],
+            clock: 0,
+            reserved: vec![0; sets],
+            prefetch_low_priority: false,
+            ports: vec![0; params.ports],
+            mshr: MshrWindow::new(params.mshrs),
+            stats: CacheStats::default(),
+            params,
+        }
+    }
+
+    /// Enables distant-re-reference insertion for prefetch fills (LLC).
+    pub fn set_prefetch_low_priority(&mut self, on: bool) {
+        self.prefetch_low_priority = on;
+    }
+
+    /// The level's parameters.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics, keeping cache contents (used at warmup end).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Records a late prefetch (demand arrived before the fill completed).
+    pub(crate) fn add_late_prefetch(&mut self) {
+        self.stats.late_prefetches += 1;
+    }
+
+    /// Set index for a line.
+    pub fn set_of(&self, line: Line) -> usize {
+        (line.0 as usize) & (self.sets - 1)
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.params.ways + way
+    }
+
+    fn usable_ways(&self, set: usize) -> usize {
+        self.params.ways - self.reserved[set] as usize
+    }
+
+    /// Charges a port slot for a request arriving at `t`; returns the
+    /// service start time.
+    pub fn port_start(&mut self, t: u64) -> u64 {
+        let (idx, &free) = self
+            .ports
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &f)| f)
+            .expect("at least one port");
+        let start = t.max(free);
+        self.ports[idx] = start + 1;
+        start
+    }
+
+    /// Pure lookup (no state change); true if present.
+    pub fn probe(&self, line: Line) -> bool {
+        let set = self.set_of(line);
+        (0..self.usable_ways(set))
+            .any(|w| self.valid[self.slot(set, w)] && self.tags[self.slot(set, w)] == line.0)
+    }
+
+    /// Demand lookup: updates recency and prefetch bits and counts stats.
+    pub fn demand_lookup(&mut self, line: Line, is_write: bool) -> LookupResult {
+        self.stats.accesses += 1;
+        let set = self.set_of(line);
+        for w in 0..self.usable_ways(set) {
+            let s = self.slot(set, w);
+            if self.valid[s] && self.tags[s] == line.0 {
+                self.clock += 1;
+                self.lru[s] = self.clock;
+                if is_write {
+                    self.dirty[s] = true;
+                }
+                let first_prefetch_touch = self.prefetched[s];
+                if first_prefetch_touch {
+                    self.prefetched[s] = false;
+                    self.stats.useful_prefetches += 1;
+                }
+                self.stats.hits += 1;
+                return LookupResult::Hit {
+                    first_prefetch_touch,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        LookupResult::Miss
+    }
+
+    /// Installs `line`; returns the eviction, if any, as
+    /// `(line, dirty, was_unused_prefetch)`.
+    pub fn fill(&mut self, line: Line, dirty: bool, prefetch: bool) -> Option<(Line, bool, bool)> {
+        let set = self.set_of(line);
+        let usable = self.usable_ways(set);
+        if usable == 0 {
+            // Fully reserved set: the fill bypasses this level.
+            return None;
+        }
+        // Refill of a present line just updates bits.
+        for w in 0..usable {
+            let s = self.slot(set, w);
+            if self.valid[s] && self.tags[s] == line.0 {
+                if dirty {
+                    self.dirty[s] = true;
+                }
+                return None;
+            }
+        }
+        if prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        // Victim: invalid way first, else LRU.
+        let mut victim = None;
+        for w in 0..usable {
+            let s = self.slot(set, w);
+            if !self.valid[s] {
+                victim = Some(w);
+                break;
+            }
+        }
+        let victim = victim.unwrap_or_else(|| {
+            if self.prefetch_low_priority {
+                // Unused prefetched blocks first (distant re-reference),
+                // then LRU among demand blocks.
+                (0..usable)
+                    .min_by_key(|&w| {
+                        let s = self.slot(set, w);
+                        (!self.prefetched[s], self.lru[s])
+                    })
+                    .expect("usable ways > 0")
+            } else {
+                (0..usable)
+                    .min_by_key(|&w| self.lru[self.slot(set, w)])
+                    .expect("usable ways > 0")
+            }
+        });
+        let s = self.slot(set, victim);
+        let evicted = if self.valid[s] {
+            let was_unused_prefetch = self.prefetched[s];
+            if was_unused_prefetch {
+                self.stats.useless_prefetch_evictions += 1;
+            }
+            if self.dirty[s] {
+                self.stats.writebacks += 1;
+            }
+            Some((Line(self.tags[s]), self.dirty[s], was_unused_prefetch))
+        } else {
+            None
+        };
+        self.clock += 1;
+        self.tags[s] = line.0;
+        self.valid[s] = true;
+        self.dirty[s] = dirty;
+        self.prefetched[s] = prefetch;
+        self.lru[s] = self.clock;
+        evicted
+    }
+
+    /// Reserves `ways` ways for metadata in `set`, invalidating displaced
+    /// data blocks. Returns evicted `(line, dirty)` pairs so the caller
+    /// can charge writeback traffic.
+    pub fn reserve_ways(&mut self, set: usize, ways: u8) -> Vec<(Line, bool)> {
+        assert!((ways as usize) <= self.params.ways);
+        let old_usable = self.usable_ways(set);
+        self.reserved[set] = ways;
+        let new_usable = self.usable_ways(set);
+        let mut evicted = Vec::new();
+        for w in new_usable..old_usable {
+            let s = self.slot(set, w);
+            if self.valid[s] {
+                if self.dirty[s] {
+                    self.stats.writebacks += 1;
+                }
+                if self.prefetched[s] {
+                    self.stats.useless_prefetch_evictions += 1;
+                }
+                evicted.push((Line(self.tags[s]), self.dirty[s]));
+                self.valid[s] = false;
+                self.dirty[s] = false;
+                self.prefetched[s] = false;
+            }
+        }
+        evicted
+    }
+
+    /// Current reservation for `set`.
+    pub fn reserved_ways(&self, set: usize) -> u8 {
+        self.reserved[set]
+    }
+
+    /// Total data capacity currently usable, in lines.
+    pub fn usable_lines(&self) -> usize {
+        (0..self.sets).map(|s| self.usable_ways(s)).sum()
+    }
+
+    /// Number of valid data blocks (test/introspection hook).
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Access latency of this level.
+    pub fn latency(&self) -> u64 {
+        self.params.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheLevel {
+        CacheLevel::new(CacheParams {
+            capacity: 4 * 64 * 2, // 2 sets x 4 ways
+            ways: 4,
+            latency: 5,
+            mshrs: 2,
+            ports: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert_eq!(c.demand_lookup(Line(10), false), LookupResult::Miss);
+        c.fill(Line(10), false, false);
+        assert!(matches!(
+            c.demand_lookup(Line(10), false),
+            LookupResult::Hit { .. }
+        ));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // All map to set 0: lines with even numbers (2 sets).
+        for i in 0..4u64 {
+            c.fill(Line(i * 2), false, false);
+        }
+        c.demand_lookup(Line(0), false); // refresh line 0
+        let evicted = c.fill(Line(8 * 2), false, false).expect("eviction");
+        assert_eq!(evicted.0, Line(2), "line 2 is the LRU victim");
+    }
+
+    #[test]
+    fn first_prefetch_touch_reported_once() {
+        let mut c = small();
+        c.fill(Line(4), false, true);
+        match c.demand_lookup(Line(4), false) {
+            LookupResult::Hit {
+                first_prefetch_touch,
+            } => assert!(first_prefetch_touch),
+            _ => panic!("expected hit"),
+        }
+        match c.demand_lookup(Line(4), false) {
+            LookupResult::Hit {
+                first_prefetch_touch,
+            } => assert!(!first_prefetch_touch),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(c.stats().useful_prefetches, 1);
+    }
+
+    #[test]
+    fn useless_prefetch_eviction_counted() {
+        let mut c = small();
+        c.fill(Line(0), false, true);
+        for i in 1..=4u64 {
+            c.fill(Line(i * 2), false, false);
+        }
+        assert_eq!(c.stats().useless_prefetch_evictions, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = small();
+        c.fill(Line(0), true, false);
+        for i in 1..=4u64 {
+            c.fill(Line(i * 2), false, false);
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn reservation_shrinks_usable_ways_and_evicts() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.fill(Line(i * 2), false, false);
+        }
+        let evicted = c.reserve_ways(0, 2);
+        assert_eq!(evicted.len(), 2);
+        assert_eq!(c.usable_lines(), 4 + 2);
+        // Fills now limited to 2 ways in set 0.
+        c.fill(Line(100), false, false);
+        c.fill(Line(102), false, false);
+        assert!(c.occupancy() <= 4);
+        // Releasing the reservation restores capacity.
+        c.reserve_ways(0, 0);
+        assert_eq!(c.usable_lines(), 8);
+    }
+
+    #[test]
+    fn fully_reserved_set_bypasses_fills() {
+        let mut c = small();
+        c.reserve_ways(0, 4);
+        assert!(c.fill(Line(0), false, false).is_none());
+        assert!(!c.probe(Line(0)));
+    }
+
+    #[test]
+    fn mshr_window_delays_when_full() {
+        let mut m = MshrWindow::new(2);
+        assert_eq!(m.admit(0), 0);
+        m.register(100);
+        assert_eq!(m.admit(1), 1);
+        m.register(50);
+        // Third miss at t=2 must wait for the earliest completion (50).
+        assert_eq!(m.admit(2), 50);
+        m.register(120);
+        // After t=100 the other completes too.
+        assert_eq!(m.admit(130), 130);
+    }
+
+    #[test]
+    fn ports_serialise_same_cycle_requests() {
+        let mut c = small();
+        let a = c.port_start(10);
+        let b = c.port_start(10);
+        assert_eq!(a, 10);
+        assert_eq!(b, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = CacheLevel::new(CacheParams {
+            capacity: 3 * 64 * 2,
+            ways: 2,
+            latency: 1,
+            mshrs: 1,
+            ports: 1,
+        });
+    }
+}

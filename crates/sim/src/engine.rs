@@ -1,0 +1,519 @@
+//! The simulation engine: interleaves per-core traces by issue time,
+//! drives the hierarchy, and invokes prefetchers.
+
+use crate::config::SystemConfig;
+use crate::core_model::CoreTiming;
+use crate::hierarchy::{Hierarchy, PrefetchOrigin};
+use crate::prefetch::{
+    AccessPrefetcher, MetaCtx, PartitionSpec, TemporalEvent, TemporalPrefetcher,
+};
+use crate::stats::{CoreReport, SimReport, TemporalStats};
+use tptrace::record::AccessKind;
+use tptrace::Trace;
+
+/// Everything attached to one simulated core.
+pub struct CorePlan {
+    /// The trace to replay.
+    pub trace: Trace,
+    /// Optional L1D prefetcher (stride / Berti).
+    pub l1_prefetcher: Option<Box<dyn AccessPrefetcher>>,
+    /// Optional regular L2 prefetcher (IPCP / Bingo / SPP-PPF).
+    pub l2_prefetcher: Option<Box<dyn AccessPrefetcher>>,
+    /// Optional temporal prefetcher (Triage / Triangel / Streamline).
+    pub temporal: Option<Box<dyn TemporalPrefetcher>>,
+}
+
+impl CorePlan {
+    /// A plan with no prefetchers.
+    pub fn bare(trace: Trace) -> Self {
+        CorePlan {
+            trace,
+            l1_prefetcher: None,
+            l2_prefetcher: None,
+            temporal: None,
+        }
+    }
+
+    /// Attaches an L1 prefetcher.
+    pub fn with_l1(mut self, p: Box<dyn AccessPrefetcher>) -> Self {
+        self.l1_prefetcher = Some(p);
+        self
+    }
+
+    /// Attaches a regular L2 prefetcher.
+    pub fn with_l2(mut self, p: Box<dyn AccessPrefetcher>) -> Self {
+        self.l2_prefetcher = Some(p);
+        self
+    }
+
+    /// Attaches a temporal prefetcher.
+    pub fn with_temporal(mut self, p: Box<dyn TemporalPrefetcher>) -> Self {
+        self.temporal = Some(p);
+        self
+    }
+}
+
+/// Maximum prefetch-queue drain per event, to bound pathological cases.
+const MAX_PREFETCHES_PER_EVENT: usize = 8;
+
+/// Accuracy-tracking epoch in issued prefetches (paper Section IV-E4).
+const ACCURACY_EPOCH: u64 = 2048;
+
+/// Per-core stats snapshot taken when the core completes its target
+/// (short traces in a mix loop; their numbers freeze at one full pass).
+#[derive(Clone, Debug)]
+struct CoreSnapshot {
+    instructions: u64,
+    cycles: u64,
+    l1d: crate::stats::CacheStats,
+    l2: crate::stats::CacheStats,
+    temporal: TemporalStats,
+    l1_prefetches: u64,
+    l2_prefetches: u64,
+    origin: crate::hierarchy::OriginCounters,
+    meta: crate::hierarchy::MetaTraffic,
+}
+
+struct CoreRunState {
+    timing: CoreTiming,
+    /// Total accesses processed (wraps through the trace).
+    processed: usize,
+    pending_issue: Option<u64>,
+    snapshot: Option<CoreSnapshot>,
+    // Accuracy epoch tracking for utility-aware policies.
+    epoch_useful: u64,
+    epoch_feedback: u64,
+    accuracy: f64,
+    // Measurement snapshots taken at warmup end.
+    measure_from_instr: u64,
+    measure_from_cycles: u64,
+    measure_from_processed: usize,
+    temporal_snapshot: TemporalStats,
+    l1_prefetches: u64,
+    l2_prefetches: u64,
+    address_tag: u64,
+}
+
+/// The trace-driven simulation engine.
+///
+/// ```
+/// use tpsim::{Engine, CorePlan, SystemConfig};
+/// use tptrace::{workloads, Scale};
+///
+/// let w = workloads::by_name("spec06.mcf").unwrap();
+/// let plan = CorePlan::bare(w.generate(Scale::Test));
+/// let report = Engine::new(SystemConfig::single_core(), vec![plan]).run();
+/// assert!(report.cores[0].ipc() > 0.0);
+/// ```
+pub struct Engine {
+    hierarchy: Hierarchy,
+    plans: Vec<CorePlan>,
+    states: Vec<CoreRunState>,
+    warmup_frac: f64,
+}
+
+impl Engine {
+    /// Creates an engine. `plans.len()` must equal `config.cores`.
+    ///
+    /// # Panics
+    /// Panics if the plan count does not match the core count.
+    pub fn new(config: SystemConfig, plans: Vec<CorePlan>) -> Self {
+        assert_eq!(
+            plans.len(),
+            config.cores,
+            "one plan per configured core required"
+        );
+        let states = (0..plans.len())
+            .map(|i| CoreRunState {
+                timing: CoreTiming::new(config.core.width, config.core.rob),
+                processed: 0,
+                pending_issue: None,
+                snapshot: None,
+                epoch_useful: 0,
+                epoch_feedback: 0,
+                accuracy: 0.0,
+                measure_from_instr: 0,
+                measure_from_cycles: 0,
+                measure_from_processed: 0,
+                temporal_snapshot: TemporalStats::default(),
+                l1_prefetches: 0,
+                l2_prefetches: 0,
+                // Distinct high bits per core keep multiprogrammed
+                // address spaces disjoint, as in ChampSim mixes.
+                address_tag: (i as u64) << 52,
+            })
+            .collect();
+        Engine {
+            hierarchy: Hierarchy::new(config),
+            plans,
+            states,
+            warmup_frac: 0.2,
+        }
+    }
+
+    /// Sets the warmup fraction (default 0.2): statistics are reset after
+    /// this fraction of each trace has executed.
+    pub fn warmup_fraction(mut self, frac: f64) -> Self {
+        assert!((0.0..1.0).contains(&frac), "warmup must be in [0, 1)");
+        self.warmup_frac = frac;
+        self
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    ///
+    /// Each core's target is one full pass over its trace measured after
+    /// warmup. In a mix, short traces loop (keeping the caches warm and
+    /// the shared LLC/DRAM contended) with their statistics frozen at
+    /// target, until every core completes — mirroring fixed-instruction
+    /// multi-programmed methodology.
+    pub fn run(mut self) -> SimReport {
+        let cores = self.plans.len();
+        let warmup_at: Vec<usize> = self
+            .plans
+            .iter()
+            .map(|p| (p.trace.len() as f64 * self.warmup_frac) as usize)
+            .collect();
+        let mut warmed = vec![self.warmup_frac == 0.0; cores];
+        let mut warm_count = if self.warmup_frac == 0.0 { cores } else { 0 };
+        let mut done_count = 0usize;
+
+        // Prime each core's first pending issue time.
+        for c in 0..cores {
+            self.prime(c);
+        }
+
+        while done_count < cores {
+            // Pick the core with the earliest pending issue.
+            let mut best: Option<(u64, usize)> = None;
+            for (c, s) in self.states.iter().enumerate() {
+                if let Some(t) = s.pending_issue {
+                    if best.map_or(true, |(bt, _)| t < bt) {
+                        best = Some((t, c));
+                    }
+                }
+            }
+            let Some((_, core)) = best else { break };
+            self.step(core);
+
+            // Warmup bookkeeping.
+            if !warmed[core] && self.states[core].processed >= warmup_at[core] {
+                warmed[core] = true;
+                warm_count += 1;
+                if warm_count == cores {
+                    self.reset_measurement();
+                }
+            }
+            // Completion bookkeeping: a core is done after one full
+            // measured pass; freeze its numbers.
+            if warm_count == cores && self.states[core].snapshot.is_none() {
+                let s = &self.states[core];
+                if s.processed >= s.measure_from_processed + self.plans[core].trace.len() {
+                    self.take_snapshot(core);
+                    done_count += 1;
+                }
+            }
+            self.prime(core);
+        }
+        self.report()
+    }
+
+    /// Computes the issue time of the core's next access.
+    fn prime(&mut self, core: usize) {
+        let s = &mut self.states[core];
+        if s.pending_issue.is_some() {
+            return;
+        }
+        let trace = &self.plans[core].trace;
+        if trace.is_empty() {
+            return;
+        }
+        // A finished core keeps looping to preserve shared-resource
+        // contention, but only up to a bound: with extreme IPC ratios in
+        // a mix, unbounded looping would multiply simulation work
+        // without changing the laggard's environment materially.
+        if s.snapshot.is_some()
+            && s.processed >= s.measure_from_processed + 4 * trace.len()
+        {
+            return;
+        }
+        let access = &trace.accesses()[s.processed % trace.len()];
+        s.pending_issue = Some(s.timing.begin_access(access));
+    }
+
+    /// Processes the core's pending access end-to-end.
+    fn step(&mut self, core: usize) {
+        let issue = self.states[core].pending_issue.take().expect("primed");
+        let idx = self.states[core].processed % self.plans[core].trace.len();
+        let access = self.plans[core].trace.accesses()[idx];
+        self.states[core].processed += 1;
+
+        let tag = self.states[core].address_tag;
+        let line = tptrace::record::Line(access.addr.line().0 | tag);
+        let is_write = access.kind == AccessKind::Store;
+
+        let outcome = self.hierarchy.demand_access(core, line, is_write, issue);
+        let complete = match access.kind {
+            AccessKind::Load => outcome.complete,
+            AccessKind::Store => issue, // stores retire via the store buffer
+        };
+        self.states[core].timing.finish_access(&access, complete);
+
+        // L1 prefetcher trains on every L1 access.
+        if let Some(pf) = self.plans[core].l1_prefetcher.as_mut() {
+            let lines = pf.on_access(access.pc, line, outcome.l1_hit);
+            for l in lines.into_iter().take(MAX_PREFETCHES_PER_EVENT) {
+                if self.hierarchy.prefetch_into_l1(core, l, issue).is_some() {
+                    self.states[core].l1_prefetches += 1;
+                }
+            }
+        }
+
+        // Regular L2 prefetcher trains on L2 queries (L1 misses).
+        if outcome.l2_queried {
+            if let Some(pf) = self.plans[core].l2_prefetcher.as_mut() {
+                let lines = pf.on_access(access.pc, line, outcome.l2_hit);
+                for l in lines.into_iter().take(MAX_PREFETCHES_PER_EVENT) {
+                    if self.hierarchy.prefetch_into_l2(core, l, issue).is_some() {
+                        self.states[core].l2_prefetches += 1;
+                    }
+                }
+            }
+        }
+
+        // Temporal prefetcher trains on L2 misses and prefetch hits.
+        if let Some(kind) = outcome.l2_event {
+            if self.plans[core].temporal.is_some() {
+                let accuracy = self.states[core].accuracy;
+                let mut ctx = MetaCtx::new(issue, accuracy);
+                let ev = TemporalEvent {
+                    pc: access.pc,
+                    line,
+                    kind,
+                    now: issue,
+                };
+                let tp = self.plans[core].temporal.as_mut().expect("checked");
+                let lines = tp.on_event(&mut ctx, ev);
+                let dedicated = tp.partition() == PartitionSpec::Dedicated;
+                // Metadata reads delay the dependent prefetches.
+                let delay = if ctx.reads() > 0 {
+                    self.hierarchy.metadata_read_latency()
+                } else {
+                    0
+                };
+                self.hierarchy.apply_meta_charges(core, &ctx, dedicated);
+                for l in lines.into_iter().take(MAX_PREFETCHES_PER_EVENT) {
+                    self.hierarchy
+                        .prefetch_into_l2_temporal(core, l, issue + delay);
+                }
+                // Partition changes (dynamic repartitioning).
+                let spec = self.plans[core].temporal.as_ref().expect("checked").partition();
+                if self.hierarchy.partition(core) != spec {
+                    self.hierarchy.apply_partition(core, spec, issue);
+                }
+            }
+        }
+
+        // Deliver sampled LLC accesses to the temporal prefetcher's
+        // data-utility model (hardware set dueling observes all LLC
+        // traffic, including prefetch-driven fills).
+        if self.plans[core].temporal.is_some() {
+            let samples = self.hierarchy.take_llc_samples(core);
+            let tp = self.plans[core].temporal.as_mut().expect("checked");
+            for l in samples {
+                tp.observe_llc(l);
+            }
+        }
+
+        // Deliver prefetch feedback and update accuracy epochs.
+        for fb in self.hierarchy.take_feedback() {
+            let s = &mut self.states[fb.core];
+            if fb.origin == PrefetchOrigin::Temporal {
+                s.epoch_feedback += 1;
+                if fb.useful {
+                    s.epoch_useful += 1;
+                }
+                if s.epoch_feedback >= ACCURACY_EPOCH {
+                    s.accuracy = s.epoch_useful as f64 / s.epoch_feedback as f64;
+                    s.epoch_feedback = 0;
+                    s.epoch_useful = 0;
+                }
+                if let Some(tp) = self.plans[fb.core].temporal.as_mut() {
+                    tp.on_feedback(fb.line, fb.useful);
+                }
+            }
+        }
+    }
+
+    /// Zeroes statistics at warmup end; timing state is preserved.
+    fn reset_measurement(&mut self) {
+        self.hierarchy.reset_stats();
+        for (c, s) in self.states.iter_mut().enumerate() {
+            s.measure_from_instr = s.timing.instructions();
+            s.measure_from_cycles = s.timing.cycles();
+            s.measure_from_processed = s.processed;
+            s.l1_prefetches = 0;
+            s.l2_prefetches = 0;
+            if let Some(tp) = self.plans[c].temporal.as_ref() {
+                s.temporal_snapshot = tp.stats();
+            }
+        }
+    }
+
+    /// Freezes a completed core's measured numbers.
+    fn take_snapshot(&mut self, core: usize) {
+        let s = &self.states[core];
+        let mut temporal = self.plans[core]
+            .temporal
+            .as_ref()
+            .map(|tp| tp.stats() - s.temporal_snapshot)
+            .unwrap_or_default();
+        let mt = self.hierarchy.meta_traffic(core);
+        temporal.meta_reads = mt.reads;
+        temporal.meta_writes = mt.writes;
+        temporal.rearranged_blocks = mt.rearranged;
+        let snap = CoreSnapshot {
+            instructions: s.timing.instructions() - s.measure_from_instr,
+            cycles: s.timing.cycles() - s.measure_from_cycles,
+            l1d: self.hierarchy.l1d_stats(core),
+            l2: self.hierarchy.l2_stats(core),
+            temporal,
+            l1_prefetches: s.l1_prefetches,
+            l2_prefetches: s.l2_prefetches,
+            origin: self.hierarchy.origin_counters(core),
+            meta: mt,
+        };
+        self.states[core].snapshot = Some(snap);
+    }
+
+    fn report(mut self) -> SimReport {
+        // Any core without a snapshot (degenerate short runs) gets one
+        // from its final state.
+        for c in 0..self.plans.len() {
+            if self.states[c].snapshot.is_none() {
+                self.take_snapshot(c);
+            }
+        }
+        let mut cores = Vec::with_capacity(self.plans.len());
+        for (plan, s) in self.plans.iter().zip(&self.states) {
+            let snap = s.snapshot.as_ref().expect("snapshot taken above");
+            let _ = &snap.meta;
+            cores.push(CoreReport {
+                workload: plan.trace.name().to_string(),
+                instructions: snap.instructions,
+                cycles: snap.cycles,
+                l1d: snap.l1d,
+                l2: snap.l2,
+                temporal: snap.temporal,
+                l1_prefetches: snap.l1_prefetches,
+                l2_prefetches: snap.l2_prefetches,
+                l2_fills_by_origin: snap.origin.fills,
+                l2_useful_by_origin: snap.origin.useful,
+                l2_useless_by_origin: snap.origin.useless,
+            });
+        }
+        SimReport {
+            cores,
+            llc: self.hierarchy.llc_stats(),
+            dram: self.hierarchy.dram_stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::IdealTemporal;
+    use tptrace::{workloads, Scale};
+
+    fn trace(name: &str) -> Trace {
+        workloads::by_name(name).unwrap().generate(Scale::Test)
+    }
+
+    #[test]
+    fn bare_run_produces_sane_ipc() {
+        let r = Engine::new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.bzip2"))],
+        )
+        .run();
+        let ipc = r.cores[0].ipc();
+        assert!(ipc > 0.05 && ipc <= 6.0, "ipc {ipc}");
+        assert!(r.cores[0].instructions > 0);
+    }
+
+    #[test]
+    fn ideal_temporal_speeds_up_pointer_chase() {
+        let base = Engine::new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.mcf"))],
+        )
+        .run();
+        let with = Engine::new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.mcf"))
+                .with_temporal(Box::new(IdealTemporal::new(4)))],
+        )
+        .run();
+        assert!(
+            with.cores[0].ipc() > base.cores[0].ipc() * 1.05,
+            "ideal temporal should help mcf: {} vs {}",
+            with.cores[0].ipc(),
+            base.cores[0].ipc()
+        );
+        assert!(with.cores[0].l2_coverage() > 0.2);
+    }
+
+    #[test]
+    fn ideal_temporal_barely_matters_on_streams() {
+        let base = Engine::new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.libquantum"))],
+        )
+        .run();
+        let with = Engine::new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.libquantum"))
+                .with_temporal(Box::new(IdealTemporal::new(4)))],
+        )
+        .run();
+        let ratio = with.cores[0].ipc() / base.cores[0].ipc();
+        assert!(ratio < 2.0, "stream workload should not explode: {ratio}");
+    }
+
+    #[test]
+    fn multicore_runs_all_traces() {
+        let r = Engine::new(
+            SystemConfig::with_cores(2),
+            vec![
+                CorePlan::bare(trace("gap.pr")),
+                CorePlan::bare(trace("spec06.libquantum")),
+            ],
+        )
+        .run();
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.cores.iter().all(|c| c.instructions > 0));
+        assert!(r.cores.iter().all(|c| c.ipc() > 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            Engine::new(
+                SystemConfig::single_core(),
+                vec![CorePlan::bare(trace("gap.bfs"))
+                    .with_temporal(Box::new(IdealTemporal::new(4)))],
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.cores[0].cycles, b.cores[0].cycles);
+        assert_eq!(a.cores[0].l2.misses, b.cores[0].l2.misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "one plan per configured core")]
+    fn plan_count_mismatch_panics() {
+        let _ = Engine::new(SystemConfig::with_cores(2), vec![]);
+    }
+}

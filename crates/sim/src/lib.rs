@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # tpsim — cycle-approximate multi-core memory-hierarchy simulator
+//!
+//! This crate is the simulation substrate for the Streamline
+//! temporal-prefetching reproduction. The paper evaluates on ChampSim, a
+//! cycle-level trace-driven simulator; `tpsim` replaces it with an
+//! **analytic-ROB, timestamp-ordered model** that preserves the
+//! first-order effects temporal-prefetching results depend on:
+//!
+//! * serialised miss chains (pointer chasing) vs. overlapping misses,
+//!   bounded by the 352-entry ROB and per-level MSHRs;
+//! * three-level cache hierarchy with port contention and LRU data
+//!   replacement;
+//! * DRAM banks, channels, and open rows (bandwidth saturation);
+//! * prefetch timeliness (late prefetches get partial credit);
+//! * **LLC metadata partitions**: temporal prefetchers reserve LLC
+//!   capacity, are charged port occupancy and traffic for every metadata
+//!   block they touch, and pay for repartition shuffles.
+//!
+//! See `DESIGN.md` §3 for the model equations and fidelity argument.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tpsim::{Engine, CorePlan, SystemConfig, IdealTemporal};
+//! use tptrace::{workloads, Scale};
+//!
+//! let trace = workloads::by_name("gap.bfs").unwrap().generate(Scale::Test);
+//! let plan = CorePlan::bare(trace).with_temporal(Box::new(IdealTemporal::new(4)));
+//! let report = Engine::new(SystemConfig::single_core(), vec![plan]).run();
+//! println!("IPC = {:.3}", report.cores[0].ipc());
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod core_model;
+pub mod dram;
+pub mod engine;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod shadow;
+pub mod stats;
+
+pub use config::{CacheParams, CoreParams, DramParams, SystemConfig};
+pub use engine::{CorePlan, Engine};
+pub use hierarchy::{Hierarchy, PrefetchOrigin};
+pub use prefetch::{
+    AccessPrefetcher, IdealTemporal, L2EventKind, MetaCtx, PartitionSpec, TemporalEvent,
+    TemporalPrefetcher,
+};
+pub use shadow::ShadowSets;
+pub use stats::{CacheStats, CoreReport, DramStats, SimReport, TemporalStats};
+
+/// Cache line size in bytes (re-exported from `tptrace`).
+pub const LINE_SIZE: u64 = tptrace::LINE_SIZE;

@@ -1,0 +1,149 @@
+//! Sampled shadow-tag stack-distance profiling.
+//!
+//! The dynamic partitioners in Triage, Triangel, and Streamline must
+//! estimate how many *data* hits the LLC would gain or lose at each
+//! candidate metadata-partition size. Hardware does this with set
+//! dueling (leader sets run competing configurations); an equivalent —
+//! and deterministic — formulation samples a subset of sets, keeps a
+//! full-depth LRU stack of data tags for each, and histograms the stack
+//! distance of every hit. The hits a configuration with `d` data ways
+//! would capture are then `Σ_{depth < d} hist[depth]`.
+//!
+//! Temporal prefetchers see every LLC-bound access (their training events
+//! are exactly the L2 misses and prefetch hits), so they can feed this
+//! sampler without extra probes.
+
+use tptrace::record::Line;
+
+/// Sampled LRU stack-distance profiler over cache sets.
+#[derive(Clone, Debug)]
+pub struct ShadowSets {
+    /// Log2 of the sampling ratio (5 → every 32nd set).
+    sample_shift: u32,
+    set_mask: u64,
+    max_depth: usize,
+    /// Sampled sets: most-recent-first tag stacks.
+    stacks: Vec<Vec<u64>>,
+    /// Hit counts by stack depth; index `max_depth` counts misses.
+    hist: Vec<u64>,
+}
+
+impl ShadowSets {
+    /// Creates a profiler for a cache with `sets` sets, sampling every
+    /// `2^sample_shift`-th set, tracking stack depths up to `max_depth`.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two or `max_depth` is zero.
+    pub fn new(sets: usize, sample_shift: u32, max_depth: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(max_depth > 0, "max_depth must be nonzero");
+        let sampled = (sets >> sample_shift).max(1);
+        ShadowSets {
+            sample_shift,
+            set_mask: sets as u64 - 1,
+            max_depth,
+            stacks: vec![Vec::new(); sampled],
+            hist: vec![0; max_depth + 1],
+        }
+    }
+
+    /// Observes an access; returns `true` if the line fell in a sampled
+    /// set.
+    pub fn observe(&mut self, line: Line) -> bool {
+        let set = line.0 & self.set_mask;
+        if set & ((1 << self.sample_shift) - 1) != 0 {
+            return false;
+        }
+        let idx = (set >> self.sample_shift) as usize % self.stacks.len();
+        let stack = &mut self.stacks[idx];
+        match stack.iter().position(|&t| t == line.0) {
+            Some(depth) => {
+                self.hist[depth.min(self.max_depth - 1)] += 1;
+                let tag = stack.remove(depth);
+                stack.insert(0, tag);
+            }
+            None => {
+                self.hist[self.max_depth] += 1;
+                stack.insert(0, line.0);
+                if stack.len() > self.max_depth {
+                    stack.pop();
+                }
+            }
+        }
+        true
+    }
+
+    /// Hits that a configuration with `ways` data ways would capture,
+    /// over the sampled sets since the last [`ShadowSets::reset`].
+    pub fn hits_with_ways(&self, ways: usize) -> u64 {
+        self.hist[..ways.min(self.max_depth)].iter().sum()
+    }
+
+    /// Total sampled accesses since the last reset.
+    pub fn sampled_accesses(&self) -> u64 {
+        self.hist.iter().sum()
+    }
+
+    /// Clears the histogram for the next epoch (stacks persist).
+    pub fn reset(&mut self) {
+        self.hist.iter_mut().for_each(|h| *h = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_loop_hits_at_shallow_depths() {
+        let mut s = ShadowSets::new(64, 0, 16);
+        // Working set of 4 lines per set, looped: depths 0..4 after warmup.
+        for _ in 0..10 {
+            for i in 0..4u64 {
+                s.observe(Line(i * 64)); // all map to set 0
+            }
+        }
+        assert!(s.hits_with_ways(4) > 30);
+        assert_eq!(s.hits_with_ways(4), s.hits_with_ways(16));
+    }
+
+    #[test]
+    fn larger_working_set_needs_more_ways() {
+        let mut s = ShadowSets::new(64, 0, 16);
+        for _ in 0..10 {
+            for i in 0..12u64 {
+                s.observe(Line(i * 64));
+            }
+        }
+        let at4 = s.hits_with_ways(4);
+        let at12 = s.hits_with_ways(12);
+        assert!(at12 > at4, "deeper stack captures loop: {at4} vs {at12}");
+    }
+
+    #[test]
+    fn sampling_skips_unsampled_sets() {
+        let mut s = ShadowSets::new(64, 5, 16);
+        assert!(s.observe(Line(0)));
+        assert!(!s.observe(Line(1)));
+        assert!(s.observe(Line(32)));
+    }
+
+    #[test]
+    fn reset_clears_histogram_not_stacks() {
+        let mut s = ShadowSets::new(64, 0, 8);
+        s.observe(Line(0));
+        s.observe(Line(0));
+        assert_eq!(s.hits_with_ways(8), 1);
+        s.reset();
+        assert_eq!(s.sampled_accesses(), 0);
+        s.observe(Line(0));
+        // Stack persisted, so this is still a depth-0 hit.
+        assert_eq!(s.hits_with_ways(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = ShadowSets::new(100, 0, 8);
+    }
+}

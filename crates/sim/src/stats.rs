@@ -1,0 +1,397 @@
+//! Simulation statistics: per-cache, per-core, and whole-run reports.
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Counters for one cache level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (loads + stores).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Demand hits on blocks brought in by a prefetch (first touch).
+    pub useful_prefetches: u64,
+    /// Demand misses that found their line already in flight from a
+    /// prefetch (late prefetches; partial latency credit).
+    pub late_prefetches: u64,
+    /// Prefetch fills installed at this level.
+    pub prefetch_fills: u64,
+    /// Prefetched blocks evicted without ever being demanded.
+    pub useless_prefetch_evictions: u64,
+    /// Dirty evictions (writebacks issued downstream).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl Sub for CacheStats {
+    type Output = CacheStats;
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - rhs.accesses,
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            useful_prefetches: self.useful_prefetches - rhs.useful_prefetches,
+            late_prefetches: self.late_prefetches - rhs.late_prefetches,
+            prefetch_fills: self.prefetch_fills - rhs.prefetch_fills,
+            useless_prefetch_evictions: self.useless_prefetch_evictions
+                - rhs.useless_prefetch_evictions,
+            writebacks: self.writebacks - rhs.writebacks,
+        }
+    }
+}
+
+/// DRAM traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Line reads serviced (demand + prefetch fills).
+    pub reads: u64,
+    /// Line writes serviced (writebacks).
+    pub writes: u64,
+    /// Row-buffer hits among reads+writes.
+    pub row_hits: u64,
+}
+
+impl DramStats {
+    /// Total lines transferred.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Sub for DramStats {
+    type Output = DramStats;
+    fn sub(self, rhs: DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            row_hits: self.row_hits - rhs.row_hits,
+        }
+    }
+}
+
+/// Counters kept by temporal prefetchers and the metadata subsystem.
+///
+/// Every prefetcher fills the fields that apply to it; the figure
+/// harnesses read them to regenerate the paper's metadata-centric plots
+/// (Figures 12 and 13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TemporalStats {
+    /// Metadata block reads issued to the LLC.
+    pub meta_reads: u64,
+    /// Metadata block writes issued to the LLC.
+    pub meta_writes: u64,
+    /// Blocks shuffled by repartitioning (Triangel's rearrangement).
+    pub rearranged_blocks: u64,
+    /// Lookups of a trigger in the metadata store.
+    pub trigger_lookups: u64,
+    /// Lookups that found the trigger.
+    pub trigger_hits: u64,
+    /// Lookups that found the trigger *and* whose stored correlation
+    /// matched the actual next access (measured on training events).
+    pub correlation_hits: u64,
+    /// Metadata entries inserted.
+    pub inserts: u64,
+    /// Inserts that duplicated correlations already present (redundancy;
+    /// paper Figure 12b).
+    pub redundant_inserts: u64,
+    /// Inserts merged by stream alignment (Streamline only).
+    pub aligned_inserts: u64,
+    /// Entries discarded by filtered indexing (Streamline only).
+    pub filtered: u64,
+    /// Entries saved by stream realignment (Streamline only).
+    pub realigned: u64,
+    /// Partition resizes performed.
+    pub resizes: u64,
+    /// Prefetches issued by the temporal prefetcher.
+    pub prefetches_issued: u64,
+}
+
+impl TemporalStats {
+    /// Trigger hit rate in [0, 1].
+    pub fn trigger_hit_rate(&self) -> f64 {
+        if self.trigger_lookups == 0 {
+            0.0
+        } else {
+            self.trigger_hits as f64 / self.trigger_lookups as f64
+        }
+    }
+
+    /// Correlation hit rate in [0, 1] (paper Figure 13c metric).
+    pub fn correlation_hit_rate(&self) -> f64 {
+        if self.trigger_lookups == 0 {
+            0.0
+        } else {
+            self.correlation_hits as f64 / self.trigger_lookups as f64
+        }
+    }
+
+    /// Metadata traffic in 64-byte blocks (reads + writes + shuffles).
+    pub fn traffic_blocks(&self) -> u64 {
+        self.meta_reads + self.meta_writes + self.rearranged_blocks
+    }
+}
+
+impl Sub for TemporalStats {
+    type Output = TemporalStats;
+    fn sub(self, rhs: TemporalStats) -> TemporalStats {
+        TemporalStats {
+            meta_reads: self.meta_reads - rhs.meta_reads,
+            meta_writes: self.meta_writes - rhs.meta_writes,
+            rearranged_blocks: self.rearranged_blocks - rhs.rearranged_blocks,
+            trigger_lookups: self.trigger_lookups - rhs.trigger_lookups,
+            trigger_hits: self.trigger_hits - rhs.trigger_hits,
+            correlation_hits: self.correlation_hits - rhs.correlation_hits,
+            inserts: self.inserts - rhs.inserts,
+            redundant_inserts: self.redundant_inserts - rhs.redundant_inserts,
+            aligned_inserts: self.aligned_inserts - rhs.aligned_inserts,
+            filtered: self.filtered - rhs.filtered,
+            realigned: self.realigned - rhs.realigned,
+            resizes: self.resizes - rhs.resizes,
+            prefetches_issued: self.prefetches_issued - rhs.prefetches_issued,
+        }
+    }
+}
+
+/// Per-core results of a run (measured after warmup).
+#[derive(Clone, Debug, Default)]
+pub struct CoreReport {
+    /// Workload name simulated on this core.
+    pub workload: String,
+    /// Instructions retired in the measured region.
+    pub instructions: u64,
+    /// Cycles elapsed in the measured region.
+    pub cycles: u64,
+    /// L1D statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Temporal-prefetcher statistics (zero if none attached).
+    pub temporal: TemporalStats,
+    /// Prefetches issued into L1 by the L1 prefetcher.
+    pub l1_prefetches: u64,
+    /// Prefetches issued into L2 by the regular L2 prefetcher.
+    pub l2_prefetches: u64,
+    /// L2 prefetch fills by origin: [L1, L2-regular, temporal].
+    pub l2_fills_by_origin: [u64; 3],
+    /// First demand touches of prefetched L2 blocks, by origin.
+    pub l2_useful_by_origin: [u64; 3],
+    /// L2 prefetched blocks evicted unused, by origin.
+    pub l2_useless_by_origin: [u64; 3],
+}
+
+impl CoreReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 prefetch coverage: fraction of would-be L2 demand misses
+    /// covered by prefetches. `useful_prefetches` counts first demand
+    /// touches of prefetched blocks (late prefetches included — the
+    /// block was resident-or-in-flight when demanded), so the would-be
+    /// miss count is `useful + misses`.
+    pub fn l2_coverage(&self) -> f64 {
+        let base = self.l2.useful_prefetches + self.l2.misses;
+        if base == 0 {
+            0.0
+        } else {
+            self.l2.useful_prefetches as f64 / base as f64
+        }
+    }
+
+    /// L2 prefetch accuracy: demanded prefetch fills / resolved prefetch
+    /// fills (demanded + evicted-unused).
+    pub fn l2_accuracy(&self) -> f64 {
+        let resolved = self.l2.useful_prefetches + self.l2.useless_prefetch_evictions;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.l2.useful_prefetches as f64 / resolved as f64
+        }
+    }
+
+    /// Coverage attributable to the **temporal** prefetcher alone: its
+    /// useful prefetches over the would-be miss count. This is the
+    /// paper's Figure 10d metric.
+    pub fn temporal_coverage(&self) -> f64 {
+        let useful = self.l2_useful_by_origin[2];
+        let base = useful + self.l2.misses;
+        if base == 0 {
+            0.0
+        } else {
+            useful as f64 / base as f64
+        }
+    }
+
+    /// Accuracy of the temporal prefetcher alone (Figure 10e metric).
+    pub fn temporal_accuracy(&self) -> f64 {
+        let useful = self.l2_useful_by_origin[2];
+        let resolved = useful + self.l2_useless_by_origin[2];
+        if resolved == 0 {
+            0.0
+        } else {
+            useful as f64 / resolved as f64
+        }
+    }
+
+    /// Misses per kilo-instruction at L2.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2.misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+/// Whole-run report.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// One report per core.
+    pub cores: Vec<CoreReport>,
+    /// Shared LLC statistics.
+    pub llc: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+}
+
+impl SimReport {
+    /// Geometric-mean IPC across cores (single value for 1 core).
+    pub fn ipc_gmean(&self) -> f64 {
+        if self.cores.is_empty() {
+            return 0.0;
+        }
+        let log_sum: f64 = self.cores.iter().map(|c| c.ipc().max(1e-9).ln()).sum();
+        (log_sum / self.cores.len() as f64).exp()
+    }
+
+    /// Sum of per-core weighted IPC (used for multi-core speedups).
+    pub fn ipc_sum(&self) -> f64 {
+        self.cores.iter().map(|c| c.ipc()).sum()
+    }
+
+    /// Aggregate temporal-prefetcher stats across cores.
+    pub fn temporal_total(&self) -> TemporalStats {
+        let mut total = TemporalStats::default();
+        for c in &self.cores {
+            let t = c.temporal;
+            total.meta_reads += t.meta_reads;
+            total.meta_writes += t.meta_writes;
+            total.rearranged_blocks += t.rearranged_blocks;
+            total.trigger_lookups += t.trigger_lookups;
+            total.trigger_hits += t.trigger_hits;
+            total.correlation_hits += t.correlation_hits;
+            total.inserts += t.inserts;
+            total.redundant_inserts += t.redundant_inserts;
+            total.aligned_inserts += t.aligned_inserts;
+            total.filtered += t.filtered;
+            total.realigned += t.realigned;
+            total.resizes += t.resizes;
+            total.prefetches_issued += t.prefetches_issued;
+        }
+        total
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.cores.iter().enumerate() {
+            writeln!(
+                f,
+                "core{i} [{}]: IPC {:.3}, L2 cov {:.1}%, acc {:.1}%, L2 MPKI {:.2}",
+                c.workload,
+                c.ipc(),
+                c.l2_coverage() * 100.0,
+                c.l2_accuracy() * 100.0,
+                c.l2_mpki()
+            )?;
+        }
+        writeln!(
+            f,
+            "llc: {}/{} hits, dram: {} rd / {} wr",
+            self.llc.hits, self.llc.accesses, self.dram.reads, self.dram.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let c = CacheStats::default();
+        assert_eq!(c.hit_rate(), 0.0);
+        let t = TemporalStats::default();
+        assert_eq!(t.trigger_hit_rate(), 0.0);
+        assert_eq!(t.correlation_hit_rate(), 0.0);
+        let r = CoreReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.l2_coverage(), 0.0);
+        assert_eq!(r.l2_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn coverage_and_accuracy_make_sense() {
+        let mut r = CoreReport::default();
+        r.instructions = 1000;
+        r.cycles = 500;
+        r.l2.misses = 50;
+        r.l2.useful_prefetches = 50;
+        r.l2.useless_prefetch_evictions = 25;
+        assert!((r.ipc() - 2.0).abs() < 1e-9);
+        assert!((r.l2_coverage() - 0.5).abs() < 1e-9);
+        assert!((r.l2_accuracy() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.l2_mpki() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_subtraction_diffs_counters() {
+        let mut a = CacheStats::default();
+        a.accesses = 10;
+        a.hits = 6;
+        let mut b = CacheStats::default();
+        b.accesses = 4;
+        b.hits = 2;
+        let d = a - b;
+        assert_eq!(d.accesses, 6);
+        assert_eq!(d.hits, 4);
+    }
+
+    #[test]
+    fn gmean_of_identical_cores_is_their_ipc() {
+        let mut rep = SimReport::default();
+        for _ in 0..4 {
+            let mut c = CoreReport::default();
+            c.instructions = 100;
+            c.cycles = 100;
+            rep.cores.push(c);
+        }
+        assert!((rep.ipc_gmean() - 1.0).abs() < 1e-9);
+        assert!((rep.ipc_sum() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut rep = SimReport::default();
+        rep.cores.push(CoreReport::default());
+        assert!(!format!("{rep}").is_empty());
+    }
+}

@@ -1,0 +1,420 @@
+//! GAP-suite stand-ins: graph kernels over a synthetic power-law CSR graph.
+//!
+//! The GAP benchmarks dominate the paper's headline wins (Streamline beats
+//! Triangel by 6.2–12.3 percentage points on GAP) because graph kernels
+//! repeat long irregular edge streams whose correlation working sets
+//! stress metadata capacity — exactly where Streamline's 33% denser
+//! metadata pays off. These generators preserve that structure: a fixed
+//! CSR graph, kernels that sweep edges in a stable order across
+//! iterations, and per-vertex property gathers.
+
+use super::{permutation, region, rng};
+use crate::record::LINE_SIZE;
+use crate::trace::{Trace, TraceBuilder};
+use crate::workloads::{Scale, Suite};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A synthetic scale-free graph in CSR form with shuffled vertex-property
+/// placement.
+#[derive(Debug)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    /// vertex -> property line index (shuffled placement).
+    prop_place: Vec<u32>,
+    vertices: usize,
+}
+
+impl Csr {
+    /// Preferential-attachment-ish generator with a **heavy-tailed
+    /// out-degree distribution**: like real GAP inputs (kron, urand,
+    /// twitter), about half the vertices initiate a single edge while a
+    /// small head initiates many, and in-edges concentrate on hubs. The
+    /// mass of low-degree vertices matters for fidelity: their property
+    /// lines have *stable successors* in kernel sweeps (learnable by
+    /// pairwise temporal prefetchers), while hub lines are ambiguous
+    /// (where stream context pays off). `deg` scales the mean.
+    fn generate(r: &mut SmallRng, vertices: usize, deg: usize) -> Csr {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); vertices];
+        let mut hubs: Vec<u32> = Vec::new();
+        for v in 1..vertices {
+            // Heavy tail with a sparse body: P(1)=0.85, P(2)=0.09,
+            // P(4)=0.04, P(4*deg)=0.02 — mean out-degree ≈ 1.4 (mean
+            // total ≈ 2.8 after symmetrisation), like GAP's road-network
+            // class. Sparsity is what lets property footprints dwarf the
+            // LLC while the correlation working set still fits on-chip
+            // metadata — the regime the paper's evaluation lives in.
+            let out = match r.gen_range(0..100) {
+                0..=84 => 1,
+                85..=93 => 2,
+                94..=97 => 4,
+                _ => 4 * deg,
+            };
+            let mut last_t = 0u32;
+            for e in 0..out {
+                // A quarter of edge slots aim at hubs (power-law
+                // in-degree); half of the rest cluster near the previous
+                // target, modelling the community structure of real
+                // inputs (kron/twitter). Clustering matters for
+                // fidelity: it makes repeated touches of a line land
+                // close together, so caches absorb them and the L2
+                // *miss* stream becomes a nearly unique, learnable
+                // sequence — the property temporal prefetchers exploit
+                // on real graph traces.
+                let t = if e % 4 == 3 && !hubs.is_empty() {
+                    hubs[r.gen_range(0..hubs.len())]
+                } else if e > 0 && r.gen_ratio(1, 2) {
+                    let delta = r.gen_range(0..16) as u32;
+                    (last_t.saturating_add(delta)).min(v as u32 - 1)
+                } else {
+                    r.gen_range(0..v) as u32
+                };
+                last_t = t;
+                adj[v].push(t);
+                adj[t as usize].push(v as u32); // symmetric: GAP graphs are undirected
+                if adj[t as usize].len() > deg * 4 && hubs.len() < vertices / 20 {
+                    hubs.push(t);
+                }
+            }
+        }
+        let mut offsets = Vec::with_capacity(vertices + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for v in 0..vertices {
+            targets.extend_from_slice(&adj[v]);
+            offsets.push(targets.len() as u32);
+        }
+        let prop_place = permutation(r, vertices);
+        Csr {
+            offsets,
+            targets,
+            prop_place,
+            vertices,
+        }
+    }
+
+    fn neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Byte address of the CSR offset entry for `v` (16 u32 per line).
+    fn offset_addr(&self, v: usize) -> u64 {
+        region::INDEX + (v as u64 / 16) * LINE_SIZE
+    }
+
+    /// Byte address of edge slot `e` in the target array (16 u32 per line).
+    fn edge_addr(&self, e: usize) -> u64 {
+        region::EDGES + (e as u64 / 16) * LINE_SIZE
+    }
+
+    /// Byte address of vertex `v`'s property line (shuffled placement).
+    fn prop_addr(&self, v: usize) -> u64 {
+        region::VEC + self.prop_place[v] as u64 * LINE_SIZE
+    }
+}
+
+fn graph_for(scale: Scale, seed: u64, vertices_base: usize, deg: usize) -> (Csr, SmallRng) {
+    let mut r = rng(seed);
+    let csr = Csr::generate(&mut r, vertices_base * scale.factor(), deg);
+    (csr, r)
+}
+
+const OFF_PC: u64 = 0x50_0100;
+const EDGE_PC: u64 = 0x50_0200;
+const PROP_PC: u64 = 0x50_0300;
+const WRITE_PC: u64 = 0x50_0400;
+
+/// Emits one full edge sweep: for each vertex, stream its offset and edge
+/// lines, then gather each neighbour's property line. This is the shared
+/// inner loop of PageRank/CC-style kernels.
+fn sweep_edges(b: &mut TraceBuilder, g: &Csr, write_back: bool) {
+    let mut last_edge_line = u64::MAX;
+    for v in 0..g.vertices {
+        b.load(OFF_PC, g.offset_addr(v));
+        let (s, e) = (g.offsets[v] as usize, g.offsets[v + 1] as usize);
+        for idx in s..e {
+            let el = g.edge_addr(idx);
+            if el != last_edge_line {
+                b.load(EDGE_PC, el);
+                last_edge_line = el;
+            }
+            b.load(PROP_PC, g.prop_addr(g.targets[idx] as usize));
+        }
+        if write_back {
+            b.store(WRITE_PC, g.prop_addr(v));
+        }
+    }
+}
+
+/// GAP PageRank: several power iterations over the full edge list in a
+/// stable order — the strongest temporal pattern in the suite.
+pub fn gap_pr(scale: Scale, seed: u64) -> Trace {
+    let (g, _) = graph_for(scale, seed, 20_000, 3);
+    let mut b = TraceBuilder::new("gap_pr", Suite::Gap);
+    b.default_gap(2);
+    for _ in 0..4 {
+        sweep_edges(&mut b, &g, true);
+    }
+    b.finish()
+}
+
+/// GAP Connected Components (Shiloach-Vishkin flavour): repeated edge
+/// sweeps reading both endpoints' component labels until convergence
+/// (fixed number of rounds here).
+pub fn gap_cc(scale: Scale, seed: u64) -> Trace {
+    let (g, _) = graph_for(scale, seed, 20_000, 3);
+    let mut b = TraceBuilder::new("gap_cc", Suite::Gap);
+    b.default_gap(2);
+    for _ in 0..4 {
+        let mut last_edge_line = u64::MAX;
+        for v in 0..g.vertices {
+            b.load(OFF_PC, g.offset_addr(v));
+            let (s, e) = (g.offsets[v] as usize, g.offsets[v + 1] as usize);
+            b.load(PROP_PC, g.prop_addr(v));
+            for idx in s..e {
+                let el = g.edge_addr(idx);
+                if el != last_edge_line {
+                    b.load(EDGE_PC, el);
+                    last_edge_line = el;
+                }
+                // Label-propagation chases component pointers: the
+                // neighbour's label read depends on the loaded edge.
+                b.dep_load(PROP_PC, g.prop_addr(g.targets[idx] as usize));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// GAP BFS: level-synchronous breadth-first search repeated from the same
+/// source. Frontier visit order is stable across repeats; property reads
+/// check the visited bitmap.
+pub fn gap_bfs(scale: Scale, seed: u64) -> Trace {
+    let (g, _) = graph_for(scale, seed, 20_000, 3);
+    // Precompute the BFS edge visit order once (it is a function of the
+    // graph only), then replay it for each of the repeated searches.
+    let mut order: Vec<(usize, usize)> = Vec::new(); // (vertex, edge index)
+    let mut visited = vec![false; g.vertices];
+    let mut frontier = vec![0usize];
+    visited[0] = true;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for (k, &t) in g.neighbors(v).iter().enumerate() {
+                order.push((v, g.offsets[v] as usize + k));
+                if !visited[t as usize] {
+                    visited[t as usize] = true;
+                    next.push(t as usize);
+                }
+            }
+        }
+        frontier = next;
+    }
+    let mut b = TraceBuilder::new("gap_bfs", Suite::Gap);
+    b.default_gap(2);
+    for _ in 0..3 {
+        let mut last_off = u64::MAX;
+        let mut last_edge = u64::MAX;
+        for &(v, e) in &order {
+            let oa = g.offset_addr(v);
+            if oa != last_off {
+                b.load(OFF_PC, oa);
+                last_off = oa;
+            }
+            let ea = g.edge_addr(e);
+            if ea != last_edge {
+                b.load(EDGE_PC, ea);
+                last_edge = ea;
+            }
+            // The visited check depends on the edge value just loaded.
+            b.dep_load(PROP_PC, g.prop_addr(g.targets[e] as usize));
+        }
+    }
+    b.finish()
+}
+
+/// GAP Betweenness Centrality: BFS-like forward pass plus a reverse
+/// accumulation pass over the same edges, both repeated.
+pub fn gap_bc(scale: Scale, seed: u64) -> Trace {
+    let (g, _) = graph_for(scale, seed, 16_000, 3);
+    let mut b = TraceBuilder::new("gap_bc", Suite::Gap);
+    b.default_gap(2);
+    for _ in 0..3 {
+        sweep_edges(&mut b, &g, false);
+        // Reverse pass: vertices in reverse order, reading successors and
+        // writing the dependency accumulator.
+        let mut last_edge_line = u64::MAX;
+        for v in (0..g.vertices).rev() {
+            b.load(OFF_PC, g.offset_addr(v));
+            let (s, e) = (g.offsets[v] as usize, g.offsets[v + 1] as usize);
+            for idx in s..e {
+                let el = g.edge_addr(idx);
+                if el != last_edge_line {
+                    b.load(EDGE_PC, el);
+                    last_edge_line = el;
+                }
+                // Dependency accumulation reads chase successors.
+                b.dep_load(PROP_PC, g.prop_addr(g.targets[idx] as usize));
+            }
+            b.store(WRITE_PC, g.prop_addr(v));
+        }
+    }
+    b.finish()
+}
+
+/// GAP SSSP (delta-stepping flavour): bucketed relaxations; buckets
+/// reprocess overlapping vertex sets, so edge streams repeat with partial
+/// overlap rather than exactly.
+pub fn gap_sssp(scale: Scale, seed: u64) -> Trace {
+    let (g, mut r) = graph_for(scale, seed, 16_000, 3);
+    let mut b = TraceBuilder::new("gap_sssp", Suite::Gap);
+    b.default_gap(3);
+    let rounds = 6;
+    for round in 0..rounds {
+        // Each round processes a window of vertices that overlaps the
+        // previous round's window by ~50%.
+        let start = round * g.vertices / (rounds + 1);
+        let end = (start + g.vertices / 3).min(g.vertices);
+        let mut last_edge_line = u64::MAX;
+        for v in start..end {
+            b.load(OFF_PC, g.offset_addr(v));
+            let (s, e) = (g.offsets[v] as usize, g.offsets[v + 1] as usize);
+            for idx in s..e {
+                let el = g.edge_addr(idx);
+                if el != last_edge_line {
+                    b.load(EDGE_PC, el);
+                    last_edge_line = el;
+                }
+                // Relaxation reads the neighbour's distance through the
+                // loaded edge value.
+                b.dep_load(PROP_PC, g.prop_addr(g.targets[idx] as usize));
+                // Occasional relaxation writes.
+                if r.gen_ratio(1, 8) {
+                    b.store(WRITE_PC, g.prop_addr(g.targets[idx] as usize));
+                }
+            }
+        }
+        // Repeat each window once (bucket re-processing).
+        let mut last_edge_line = u64::MAX;
+        for v in start..end {
+            let (s, e) = (g.offsets[v] as usize, g.offsets[v + 1] as usize);
+            for idx in s..e {
+                let el = g.edge_addr(idx);
+                if el != last_edge_line {
+                    b.load(EDGE_PC, el);
+                    last_edge_line = el;
+                }
+                b.dep_load(PROP_PC, g.prop_addr(g.targets[idx] as usize));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// GAP Triangle Counting: for each edge (u, v), stream both adjacency
+/// lists to intersect them. Adjacency lists are re-streamed many times —
+/// heavy repeated sequential bursts at irregular starting points.
+pub fn gap_tc(scale: Scale, seed: u64) -> Trace {
+    let (g, _) = graph_for(scale, seed, 12_000, 4);
+    let mut b = TraceBuilder::new("gap_tc", Suite::Gap);
+    b.default_gap(2);
+    let budget = 220_000 * scale.factor();
+    // Stride through vertices coprime to the count so the budget-limited
+    // run still covers the whole structure rather than only the first hubs.
+    'outer: for i in 0..g.vertices {
+        let u = (i * 97) % g.vertices;
+        for &v in g.neighbors(u) {
+            // Intersect adj(u) and adj(v): stream both edge ranges and
+            // check each candidate's property (degree/mark) line.
+            for idx in g.offsets[u] as usize..g.offsets[u + 1] as usize {
+                b.load(EDGE_PC, g.edge_addr(idx));
+                b.load(PROP_PC, g.prop_addr(g.targets[idx] as usize));
+            }
+            for idx in g.offsets[v as usize] as usize..g.offsets[v as usize + 1] as usize {
+                b.load(EDGE_PC + 0x10, g.edge_addr(idx));
+            }
+            if b.len() >= budget {
+                break 'outer;
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr_repeats_property_gathers_across_iterations() {
+        let t = gap_pr(Scale::Test, 11);
+        let props: Vec<_> = t
+            .accesses()
+            .iter()
+            .filter(|a| a.pc.0 == PROP_PC)
+            .map(|a| a.addr)
+            .collect();
+        let n = props.len() / 4;
+        assert_eq!(&props[..n], &props[n..2 * n]);
+    }
+
+    #[test]
+    fn bfs_visit_order_repeats() {
+        let t = gap_bfs(Scale::Test, 12);
+        let props: Vec<_> = t
+            .accesses()
+            .iter()
+            .filter(|a| a.pc.0 == PROP_PC)
+            .map(|a| a.addr)
+            .collect();
+        let n = props.len() / 3;
+        assert_eq!(&props[..n], &props[n..2 * n]);
+    }
+
+    #[test]
+    fn kernels_have_large_irregular_footprints() {
+        for (name, t) in [
+            ("pr", gap_pr(Scale::Test, 1)),
+            ("cc", gap_cc(Scale::Test, 2)),
+            ("bc", gap_bc(Scale::Test, 3)),
+            ("sssp", gap_sssp(Scale::Test, 4)),
+            ("tc", gap_tc(Scale::Test, 5)),
+            ("bfs", gap_bfs(Scale::Test, 6)),
+        ] {
+            let s = t.stats();
+            // TC re-streams adjacency lists heavily, so its unique
+            // footprint is naturally smaller than the sweep kernels'.
+            let min_lines = if name == "tc" { 500 } else { 2_000 };
+            assert!(
+                s.unique_lines > min_lines,
+                "{name} footprint {}",
+                s.unique_lines
+            );
+            assert!(s.accesses > 10_000, "{name} too short");
+        }
+    }
+
+    #[test]
+    fn csr_is_well_formed() {
+        let mut r = rng(42);
+        let g = Csr::generate(&mut r, 500, 4);
+        assert_eq!(g.offsets.len(), 501);
+        assert!(g.offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.targets.len());
+        assert!(g.targets.iter().all(|&t| (t as usize) < 500));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut r = rng(43);
+        let g = Csr::generate(&mut r, 2000, 6);
+        let mut indeg = vec![0u32; 2000];
+        for &t in &g.targets {
+            indeg[t as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        let mean = g.targets.len() as u32 / 2000;
+        assert!(max > mean * 5, "expected hubs: max {max} mean {mean}");
+    }
+}

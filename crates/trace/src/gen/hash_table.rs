@@ -1,0 +1,119 @@
+//! Hash-table probing generator: `omnetpp_like`.
+
+use super::{permutation, region, rng, Zipf};
+use crate::record::LINE_SIZE;
+use crate::trace::{Trace, TraceBuilder};
+use crate::workloads::{Scale, Suite};
+use rand::Rng;
+
+/// SPEC `omnetpp`-like workload: discrete-event simulation dominated by
+/// skewed hash-table probes and short chain walks.
+///
+/// The key sequence repeats across epochs with light jitter (events are
+/// rescheduled in nearly the same order), so most probe streams recur —
+/// temporal prefetchers can learn them — but the reordering exercises the
+/// second-chance / alignment machinery of the prefetchers under test.
+pub fn omnetpp_like(scale: Scale, seed: u64) -> Trace {
+    let f = scale.factor();
+    let buckets = 16_000 * f;
+    let keys = 12_000 * f;
+    let probes_per_epoch = 24_000 * f;
+    let epochs = 4;
+    let jitter_window = 8;
+
+    let mut r = rng(seed);
+    let bucket_place = permutation(&mut r, buckets);
+    let node_place = permutation(&mut r, keys);
+    let zipf = Zipf::new(keys, 0.8);
+
+    // Chain length per key: 1-3 dependent hops after the bucket head.
+    let chain_len: Vec<u8> = (0..keys).map(|_| r.gen_range(1..=3)).collect();
+
+    // The per-epoch key schedule: generated once, replayed with jitter.
+    let schedule: Vec<u32> = (0..probes_per_epoch)
+        .map(|_| zipf.sample(&mut r) as u32)
+        .collect();
+
+    let bucket_addr = |k: u32| {
+        let b = (k as u64).wrapping_mul(0x9e37_79b9) as usize % buckets;
+        region::TABLE + bucket_place[b] as u64 * LINE_SIZE
+    };
+    let node_addr = |k: u32, hop: u8| {
+        let n = (k as usize + hop as usize * 7919) % keys;
+        region::HEAP + 0x200_0000_0000 + node_place[n] as u64 * LINE_SIZE
+    };
+
+    let mut b = TraceBuilder::new("omnetpp_like", Suite::Spec06);
+    b.default_gap(6);
+    let probe_pc = 0x42_1000u64;
+    let walk_pc = 0x42_2000u64;
+
+    let mut epoch_order: Vec<u32> = schedule.clone();
+    for _ in 0..epochs {
+        for &k in &epoch_order {
+            b.load(probe_pc, bucket_addr(k));
+            for hop in 0..chain_len[k as usize] {
+                b.dep_load(walk_pc, node_addr(k, hop));
+            }
+        }
+        // Jitter: swap a few nearby schedule slots for the next epoch.
+        for i in 0..epoch_order.len() / 20 {
+            let a = (i * 20 + r.gen_range(0..jitter_window)) % epoch_order.len();
+            let c = (a + r.gen_range(1..jitter_window)) % epoch_order.len();
+            epoch_order.swap(a, c);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Dep;
+
+    #[test]
+    fn probes_alternate_bucket_then_chain() {
+        let t = omnetpp_like(Scale::Test, 3);
+        let a = t.accesses();
+        // First access is a bucket probe; chain walks are dependent.
+        assert_eq!(a[0].dep, Dep::None);
+        assert!(a.iter().any(|x| x.dep == Dep::PrevLoad));
+    }
+
+    #[test]
+    fn hot_keys_dominate() {
+        let t = omnetpp_like(Scale::Test, 3);
+        use std::collections::HashMap;
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for a in t.accesses().iter().filter(|a| a.pc.0 == 0x42_1000) {
+            *counts.entry(a.addr.0).or_default() += 1;
+        }
+        let total: usize = counts.values().sum();
+        let mut v: Vec<_> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = v.iter().take(v.len() / 10 + 1).sum();
+        assert!(
+            top_decile * 3 > total,
+            "skew too weak: {top_decile}/{total}"
+        );
+    }
+
+    #[test]
+    fn epochs_mostly_repeat() {
+        let t = omnetpp_like(Scale::Test, 3);
+        let probes: Vec<_> = t
+            .accesses()
+            .iter()
+            .filter(|a| a.pc.0 == 0x42_1000)
+            .map(|a| a.addr)
+            .collect();
+        let n = probes.len() / 4;
+        let same = probes[..n]
+            .iter()
+            .zip(&probes[n..2 * n])
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(same * 10 > n * 7, "epochs should mostly repeat: {same}/{n}");
+        assert!(same < n, "jitter should perturb some probes");
+    }
+}

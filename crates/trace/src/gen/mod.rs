@@ -1,0 +1,157 @@
+//! Synthetic workload generators.
+//!
+//! Each generator emits an access-pattern class observed in the paper's
+//! benchmark suites. All generators are deterministic functions of
+//! `(Scale, seed)` and produce line-granularity-meaningful byte addresses
+//! in distinct heap regions.
+//!
+//! | Generator | Stands in for | Pattern |
+//! |---|---|---|
+//! | [`mcf_like`] | SPEC mcf | serialized pointer chasing over a large shuffled node pool, plus no-reuse scan phases |
+//! | [`omnetpp_like`] | SPEC omnetpp | hash-table probing with skewed keys and chained walks, repeated across epochs |
+//! | [`xalanc_like`] | SPEC xalancbmk | DOM-like tree traversals repeating a stable visit order |
+//! | [`sparse_like`] | SPEC soplex/milc | CSR SpMV: streaming index reads plus repeated irregular gathers |
+//! | [`phased_like`] | SPEC sphinx3/gcc | alternating regular and irregular phases |
+//! | [`stream_like`] | SPEC libquantum/fotonik3d/roms | long unit-stride streams |
+//! | [`stencil_like`] | SPEC lbm/cactuBSSN | multi-array strided stencil sweeps |
+//! | [`scan_like`] | SPEC bzip2 | small hot working set with occasional scans (little irregularity) |
+//! | [`gap_bfs`]..[`gap_tc`] | GAP kernels | CSR graph traversals with repeated edge orders |
+
+mod graph;
+mod hash_table;
+mod pointer_chase;
+mod sparse;
+mod stream;
+
+pub use graph::{gap_bc, gap_bfs, gap_cc, gap_pr, gap_sssp, gap_tc};
+pub use hash_table::omnetpp_like;
+pub use pointer_chase::{mcf_like, xalanc_like};
+pub use sparse::sparse_like;
+pub use stream::{phased_like, scan_like, stencil_like, stream_like};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic RNG used by every generator.
+pub(crate) fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ 0x5eed_5eed_5eed_5eed)
+}
+
+/// A random permutation of `0..n`, used to shuffle object placement so that
+/// pointer order does not match address order (making patterns invisible
+/// to stride prefetchers but learnable by temporal prefetchers).
+pub(crate) fn permutation(rng: &mut SmallRng, n: usize) -> Vec<u32> {
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Skewed (Zipf-like, s = 0.8) sampler over `0..n` built from a
+/// precomputed CDF; models hot-key distributions in hash-table workloads.
+#[derive(Clone, Debug)]
+pub(crate) struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub(crate) fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a nonempty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Distinct heap-region bases so that workload structures never collide.
+pub(crate) mod region {
+    /// Node pools / object heaps.
+    pub const HEAP: u64 = 0x1000_0000_0000;
+    /// Hash-table buckets.
+    pub const TABLE: u64 = 0x2000_0000_0000;
+    /// Matrix / graph index arrays (row pointers, offsets).
+    pub const INDEX: u64 = 0x3000_0000_0000;
+    /// Matrix / graph payload arrays (column indices, edge targets).
+    pub const EDGES: u64 = 0x4000_0000_0000;
+    /// Dense vectors (ranks, distances, components).
+    pub const VEC: u64 = 0x5000_0000_0000;
+    /// Scan / stream buffers.
+    pub const STREAM: u64 = 0x6000_0000_0000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{memory_intensive, Scale};
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = rng(7);
+        let p = permutation(&mut r, 1000);
+        let mut seen = vec![false; 1000];
+        for &v in &p {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(1000, 0.8);
+        let mut r = rng(9);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut r) < 100 {
+                low += 1;
+            }
+        }
+        // Rank 0..100 of 1000 should receive far more than 10% of samples.
+        assert!(low > 2_000, "zipf not skewed: {low}");
+    }
+
+    #[test]
+    fn all_generators_produce_line_addressable_traces() {
+        for w in memory_intensive() {
+            let t = w.generate(Scale::Test);
+            assert!(t.len() > 1_000, "{} too short: {}", w.name, t.len());
+            assert!(
+                t.len() < 2_000_000,
+                "{} too long at test scale: {}",
+                w.name,
+                t.len()
+            );
+            // Addresses must land in a declared region.
+            for a in t.accesses().iter().take(100) {
+                assert!(a.addr.0 >= region::HEAP, "{}: address below heap", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scales_grow_footprint_and_length() {
+        let w = crate::workloads::by_name("gap.pr").unwrap();
+        let small = w.generate(Scale::Test);
+        let big = w.generate(Scale::Small);
+        assert!(big.len() > small.len());
+        assert!(big.footprint_lines() > small.footprint_lines());
+    }
+}

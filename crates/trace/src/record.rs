@@ -1,0 +1,263 @@
+//! Core record types shared across the whole reproduction: addresses,
+//! program counters, and per-access trace records.
+
+use std::fmt;
+
+/// Cache line size in bytes. The whole reproduction models 64-byte lines,
+/// matching the paper's ChampSim configuration.
+pub const LINE_SIZE: u64 = 64;
+
+/// Log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte address in the simulated physical address space.
+///
+/// `Addr` is a newtype over `u64`; use [`Addr::line`] to obtain the cache
+/// line number that the prefetchers and caches operate on.
+///
+/// ```
+/// use tptrace::Addr;
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line().0, 0x41);
+/// assert_eq!(a.line_base(), Addr::new(0x1040 & !63));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A cache-line number (byte address divided by [`LINE_SIZE`]).
+///
+/// Temporal-prefetcher metadata correlates `Line`s, never raw byte
+/// addresses, mirroring the paper's 31-bit "prefetch target" fields.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Line(pub u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The cache line this address falls in.
+    pub const fn line(self) -> Line {
+        Line(self.0 >> LINE_SHIFT)
+    }
+
+    /// The first byte address of this address's cache line.
+    pub const fn line_base(self) -> Addr {
+        Addr(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Offset of this address within its cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_SIZE - 1)
+    }
+}
+
+impl Line {
+    /// The base byte address of this line.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The line `delta` lines after this one (saturating at zero for
+    /// negative deltas that would underflow).
+    pub fn offset(self, delta: i64) -> Line {
+        Line(self.0.wrapping_add(delta as u64))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<u64> for Line {
+    fn from(raw: u64) -> Self {
+        Line(raw)
+    }
+}
+
+/// A load/store program counter. Prefetchers use the PC for
+/// PC-localisation of metadata (training-unit indexing).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u64);
+
+impl Pc {
+    /// Creates a PC from a raw instruction address.
+    pub const fn new(raw: u64) -> Self {
+        Pc(raw)
+    }
+
+    /// A short hash of the PC, used by samplers that store hashed PCs.
+    pub fn hash8(self) -> u8 {
+        let x = self.0;
+        ((x ^ (x >> 8) ^ (x >> 17) ^ (x >> 29)) & 0xff) as u8
+    }
+}
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pc({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc{:#x}", self.0)
+    }
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum AccessKind {
+    /// A demand load.
+    #[default]
+    Load,
+    /// A demand store.
+    Store,
+}
+
+/// Dependence annotation for the analytic core model.
+///
+/// Temporal prefetching matters most when misses are *serialised* (pointer
+/// chasing): the next load's address depends on the previous load's value,
+/// so the core cannot overlap them. Generators mark such loads with
+/// [`Dep::PrevLoad`]; independent loads (array sweeps, gather loops with
+/// known indices) use [`Dep::None`] and may overlap up to the ROB/MSHR
+/// limits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Dep {
+    /// Address is available at dispatch; the load can issue immediately.
+    #[default]
+    None,
+    /// Address depends on the value returned by the previous load of the
+    /// same core; issue is serialised behind that load's completion.
+    PrevLoad,
+}
+
+/// One memory access in a trace.
+///
+/// `gap` counts the non-memory instructions retired between the previous
+/// access and this one; the analytic core model uses it to account for
+/// front-end/ALU work without tracing every instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// Program counter of the load/store instruction.
+    pub pc: Pc,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Dependence of this access's address on the previous load.
+    pub dep: Dep,
+    /// Non-memory instructions preceding this access.
+    pub gap: u32,
+}
+
+impl Access {
+    /// Convenience constructor for an independent load.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        Access {
+            pc: Pc(pc),
+            addr: Addr(addr),
+            kind: AccessKind::Load,
+            dep: Dep::None,
+            gap: 2,
+        }
+    }
+
+    /// Convenience constructor for a dependent (pointer-chase) load.
+    pub fn dep_load(pc: u64, addr: u64) -> Self {
+        Access {
+            dep: Dep::PrevLoad,
+            ..Access::load(pc, addr)
+        }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        Access {
+            kind: AccessKind::Store,
+            ..Access::load(pc, addr)
+        }
+    }
+
+    /// Total instructions this record represents (the access itself plus
+    /// its preceding non-memory gap).
+    pub fn instructions(&self) -> u64 {
+        1 + self.gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic_round_trips() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.line().base_addr().0, a.0 & !(LINE_SIZE - 1));
+        assert_eq!(a.line_base().line_offset(), 0);
+        assert_eq!(a.line_offset(), 0xdead_beef % LINE_SIZE);
+    }
+
+    #[test]
+    fn line_offset_wraps_like_pointer_arithmetic() {
+        let l = Line(100);
+        assert_eq!(l.offset(3), Line(103));
+        assert_eq!(l.offset(-3), Line(97));
+    }
+
+    #[test]
+    fn access_constructors_set_expected_fields() {
+        let l = Access::load(0x400, 0x1000);
+        assert_eq!(l.kind, AccessKind::Load);
+        assert_eq!(l.dep, Dep::None);
+        let d = Access::dep_load(0x400, 0x1000);
+        assert_eq!(d.dep, Dep::PrevLoad);
+        let s = Access::store(0x400, 0x1000);
+        assert_eq!(s.kind, AccessKind::Store);
+        assert_eq!(s.instructions(), 3);
+    }
+
+    #[test]
+    fn pc_hash_is_stable_and_spreads() {
+        let a = Pc::new(0x401000).hash8();
+        let b = Pc::new(0x401008).hash8();
+        assert_eq!(a, Pc::new(0x401000).hash8());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!format!("{}", Addr::new(0)).is_empty());
+        assert!(!format!("{}", Line(0)).is_empty());
+        assert!(!format!("{}", Pc::new(0)).is_empty());
+        assert!(!format!("{:?}", Addr::new(0)).is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! In-memory access traces and trace-level statistics.
+
+use crate::record::{Access, AccessKind, Dep, Line};
+use crate::workloads::Suite;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A complete, replayable memory access trace for one simulated core.
+///
+/// Traces are produced by the generators in [`crate::gen`] and consumed by
+/// the `tpsim` engine. A trace records only memory accesses; non-memory
+/// instructions are represented by each access's `gap` field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    suite: Suite,
+    accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// Creates a trace from parts. Prefer [`TraceBuilder`] in generators.
+    pub fn new(name: impl Into<String>, suite: Suite, accesses: Vec<Access>) -> Self {
+        Trace {
+            name: name.into(),
+            suite,
+            accesses,
+        }
+    }
+
+    /// Workload name, e.g. `"gap.pr"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Which benchmark suite this workload stands in for.
+    pub fn suite(&self) -> Suite {
+        self.suite
+    }
+
+    /// The recorded accesses, in program order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Number of memory accesses in the trace.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace holds no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Total instruction count represented (accesses plus gaps).
+    pub fn instructions(&self) -> u64 {
+        self.accesses.iter().map(|a| a.instructions()).sum()
+    }
+
+    /// Iterate over accesses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Access> {
+        self.accesses.iter()
+    }
+
+    /// Computes summary statistics for the trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut lines = HashSet::new();
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut dependent = 0u64;
+        for a in &self.accesses {
+            lines.insert(a.addr.line());
+            match a.kind {
+                AccessKind::Load => loads += 1,
+                AccessKind::Store => stores += 1,
+            }
+            if a.dep == Dep::PrevLoad {
+                dependent += 1;
+            }
+        }
+        TraceStats {
+            accesses: self.accesses.len() as u64,
+            instructions: self.instructions(),
+            loads,
+            stores,
+            dependent_loads: dependent,
+            unique_lines: lines.len() as u64,
+        }
+    }
+
+    /// Unique cache lines touched by the trace.
+    pub fn footprint_lines(&self) -> u64 {
+        let set: HashSet<Line> = self.accesses.iter().map(|a| a.addr.line()).collect();
+        set.len() as u64
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Access;
+    type IntoIter = std::slice::Iter<'a, Access>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accesses.iter()
+    }
+}
+
+/// Summary statistics over a [`Trace`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Total memory accesses.
+    pub accesses: u64,
+    /// Total instructions represented (accesses + gaps).
+    pub instructions: u64,
+    /// Load count.
+    pub loads: u64,
+    /// Store count.
+    pub stores: u64,
+    /// Loads whose address depends on the previous load.
+    pub dependent_loads: u64,
+    /// Distinct cache lines touched.
+    pub unique_lines: u64,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} loads / {} stores, {} dependent), {} instrs, {} unique lines",
+            self.accesses,
+            self.loads,
+            self.stores,
+            self.dependent_loads,
+            self.instructions,
+            self.unique_lines
+        )
+    }
+}
+
+/// Incremental builder used by the workload generators.
+///
+/// ```
+/// use tptrace::{TraceBuilder, Suite};
+/// let mut b = TraceBuilder::new("demo", Suite::Spec06);
+/// b.load(0x400, 0x1000);
+/// b.dep_load(0x404, 0x2000);
+/// b.store(0x408, 0x3000);
+/// let t = b.finish();
+/// assert_eq!(t.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuilder {
+    name: String,
+    suite: Suite,
+    accesses: Vec<Access>,
+    default_gap: u32,
+}
+
+impl TraceBuilder {
+    /// Starts a new trace.
+    pub fn new(name: impl Into<String>, suite: Suite) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            suite,
+            accesses: Vec::new(),
+            default_gap: 2,
+        }
+    }
+
+    /// Sets the default non-memory instruction gap used by the convenience
+    /// record methods. Larger gaps model more compute per access.
+    pub fn default_gap(&mut self, gap: u32) -> &mut Self {
+        self.default_gap = gap;
+        self
+    }
+
+    /// Appends an arbitrary access record.
+    pub fn push(&mut self, access: Access) -> &mut Self {
+        self.accesses.push(access);
+        self
+    }
+
+    /// Appends an independent load.
+    pub fn load(&mut self, pc: u64, addr: u64) -> &mut Self {
+        let gap = self.default_gap;
+        self.push(Access {
+            gap,
+            ..Access::load(pc, addr)
+        })
+    }
+
+    /// Appends a dependent (pointer-chase) load.
+    pub fn dep_load(&mut self, pc: u64, addr: u64) -> &mut Self {
+        let gap = self.default_gap;
+        self.push(Access {
+            gap,
+            ..Access::dep_load(pc, addr)
+        })
+    }
+
+    /// Appends a store.
+    pub fn store(&mut self, pc: u64, addr: u64) -> &mut Self {
+        let gap = self.default_gap;
+        self.push(Access {
+            gap,
+            ..Access::store(pc, addr)
+        })
+    }
+
+    /// Number of accesses recorded so far.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether no accesses have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Finalises the trace.
+    pub fn finish(self) -> Trace {
+        Trace::new(self.name, self.suite, self.accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_records_in_order() {
+        let mut b = TraceBuilder::new("t", Suite::Gap);
+        b.load(1, 64).dep_load(2, 128).store(3, 192);
+        let t = b.finish();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.suite(), Suite::Gap);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.accesses()[1].dep, Dep::PrevLoad);
+        assert_eq!(t.accesses()[2].kind, AccessKind::Store);
+    }
+
+    #[test]
+    fn stats_count_categories() {
+        let mut b = TraceBuilder::new("t", Suite::Spec17);
+        b.load(1, 0).load(1, 64).dep_load(1, 128).store(1, 64);
+        let s = b.finish().stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.loads, 3);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.dependent_loads, 1);
+        assert_eq!(s.unique_lines, 3);
+        assert_eq!(s.instructions, 4 * 3);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn default_gap_applies_to_later_records() {
+        let mut b = TraceBuilder::new("t", Suite::Spec06);
+        b.load(1, 0);
+        b.default_gap(10);
+        b.load(1, 64);
+        let t = b.finish();
+        assert_eq!(t.accesses()[0].gap, 2);
+        assert_eq!(t.accesses()[1].gap, 10);
+    }
+
+    #[test]
+    fn footprint_counts_unique_lines() {
+        let mut b = TraceBuilder::new("t", Suite::Spec06);
+        for i in 0..100 {
+            b.load(1, (i % 10) * 64);
+        }
+        assert_eq!(b.finish().footprint_lines(), 10);
+    }
+}

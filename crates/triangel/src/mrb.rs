@@ -1,0 +1,101 @@
+//! The Metadata Reuse Buffer: a small fully-associative cache of
+//! recently touched metadata correlations that filters redundant LLC
+//! metadata traffic (Triangel's step 2/3).
+
+use tptrace::record::Line;
+
+/// A fully-associative, LRU, (trigger → target) reuse buffer.
+#[derive(Clone, Debug)]
+pub struct Mrb {
+    entries: Vec<(u64, Line)>,
+    capacity: usize,
+}
+
+impl Mrb {
+    /// Creates an MRB with `capacity` entries (Triangel: 32).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mrb capacity must be nonzero");
+        Mrb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Looks up a trigger, refreshing recency on hit.
+    pub fn lookup(&mut self, trigger: u64) -> Option<Line> {
+        let pos = self.entries.iter().position(|&(t, _)| t == trigger)?;
+        let e = self.entries.remove(pos);
+        self.entries.insert(0, e);
+        Some(e.1)
+    }
+
+    /// True if the exact (trigger, target) pair is present — a store for
+    /// it would be redundant.
+    pub fn contains_pair(&self, trigger: u64, target: Line) -> bool {
+        self.entries.iter().any(|&(t, v)| t == trigger && v == target)
+    }
+
+    /// Records a correlation at MRU.
+    pub fn update(&mut self, trigger: u64, target: Line) {
+        if let Some(pos) = self.entries.iter().position(|&(t, _)| t == trigger) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (trigger, target));
+        self.entries.truncate(self.capacity);
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_hits_after_update() {
+        let mut m = Mrb::new(4);
+        m.update(1, Line(10));
+        assert_eq!(m.lookup(1), Some(Line(10)));
+        assert_eq!(m.lookup(2), None);
+    }
+
+    #[test]
+    fn pair_check_distinguishes_targets() {
+        let mut m = Mrb::new(4);
+        m.update(1, Line(10));
+        assert!(m.contains_pair(1, Line(10)));
+        assert!(!m.contains_pair(1, Line(11)));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut m = Mrb::new(2);
+        m.update(1, Line(10));
+        m.update(2, Line(20));
+        m.lookup(1); // refresh 1
+        m.update(3, Line(30)); // evicts 2
+        assert_eq!(m.lookup(2), None);
+        assert_eq!(m.lookup(1), Some(Line(10)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn update_replaces_target_in_place() {
+        let mut m = Mrb::new(2);
+        m.update(1, Line(10));
+        m.update(1, Line(11));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lookup(1), Some(Line(11)));
+    }
+}

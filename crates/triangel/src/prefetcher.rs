@@ -1,0 +1,396 @@
+//! The Triangel prefetcher proper: training unit + MRB + pairwise store
+//! + set-dueling partitioner with rearrangement costs.
+
+use crate::mrb::Mrb;
+use crate::training::TrainingUnit;
+use tpsim::{
+    MetaCtx, PartitionSpec, ShadowSets, TemporalEvent, TemporalPrefetcher, TemporalStats,
+};
+use tptrace::record::Line;
+use triage::pairwise::{InsertOutcome, PairwiseStore};
+
+/// Metadata insertion depth. Triangel uses SRRIP; under metadata-insert
+/// pressure with hit promotion, SRRIP behaves like FIFO/LRU (all entries
+/// age from the same inserted RRPV), so MRU insertion models it without
+/// the capacity loss a naive mid-stack insertion would cause.
+const SRRIP_INSERT_FRAC: f64 = 0.0;
+
+/// Triangel configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TriangelConfig {
+    /// LLC sets in this core's slice.
+    pub llc_sets: usize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// Maximum metadata ways (8 → 1 MB on a 2 MB slice).
+    pub max_ways: u8,
+    /// Maximum prefetch degree (4).
+    pub max_degree: usize,
+    /// Partitioning epoch in training events (50K).
+    pub epoch: u64,
+    /// Correlations per way-block (12: full 31-bit targets).
+    pub entries_per_way: usize,
+    /// MRB capacity (32).
+    pub mrb_entries: usize,
+    /// Dedicated metadata store outside the LLC (Triangel-Ideal).
+    pub dedicated: bool,
+    /// Pin the partition to a fixed way count (size-sweep experiments).
+    pub fixed_ways: Option<u8>,
+}
+
+impl Default for TriangelConfig {
+    fn default() -> Self {
+        TriangelConfig {
+            llc_sets: 2048,
+            llc_ways: 16,
+            max_ways: 8,
+            max_degree: 4,
+            epoch: 50_000,
+            entries_per_way: 12,
+            mrb_entries: 32,
+            dedicated: false,
+            fixed_ways: None,
+        }
+    }
+}
+
+/// The Triangel on-chip temporal prefetcher.
+pub struct Triangel {
+    config: TriangelConfig,
+    tu: TrainingUnit,
+    store: PairwiseStore<u64>,
+    mrb: Mrb,
+    shadow: ShadowSets,
+    events: u64,
+    stats: TemporalStats,
+}
+
+impl Triangel {
+    /// Creates a Triangel prefetcher with the paper's configuration.
+    pub fn new() -> Self {
+        Triangel::with_config(TriangelConfig::default())
+    }
+
+    /// Creates the *Triangel-Ideal* variant: same algorithm, dedicated
+    /// 1 MB metadata store outside the LLC.
+    pub fn ideal() -> Self {
+        Triangel::with_config(TriangelConfig {
+            dedicated: true,
+            fixed_ways: Some(8),
+            ..TriangelConfig::default()
+        })
+    }
+
+    /// Creates a Triangel prefetcher from an explicit configuration.
+    pub fn with_config(config: TriangelConfig) -> Self {
+        let initial = config.fixed_ways.unwrap_or(config.max_ways);
+        Triangel {
+            tu: TrainingUnit::new(config.max_degree),
+            store: PairwiseStore::new(
+                config.llc_sets,
+                config.entries_per_way,
+                config.max_ways,
+                initial,
+            ),
+            mrb: Mrb::new(config.mrb_entries),
+            shadow: ShadowSets::new(config.llc_sets, 5, config.llc_ways),
+            events: 0,
+            stats: TemporalStats::default(),
+            config,
+        }
+    }
+
+    /// Current metadata capacity in correlations.
+    pub fn capacity_correlations(&self) -> usize {
+        self.store.capacity_entries()
+    }
+
+    /// Current metadata way allocation.
+    pub fn ways(&self) -> u8 {
+        self.store.ways()
+    }
+
+    fn maybe_repartition(&mut self, ctx: &mut MetaCtx) {
+        self.events += 1;
+        if self.events % self.config.epoch != 0 {
+            return;
+        }
+        if self.config.fixed_ways.is_none() {
+            // Set dueling: score each way split by (equal-weighted) data
+            // hits plus trigger hits — Triangel values both the same,
+            // which Section IV-D2 criticises.
+            let score_of = |w: u8| {
+                let data = self.shadow.hits_with_ways(self.config.llc_ways - w as usize);
+                // Shadow sets sample 1/32 of sets; scale to match the
+                // unsampled trigger histogram.
+                (data * 32 + self.store.hits_with_ways(w)) as i64
+            };
+            let current = self.store.ways();
+            let mut best_w = current;
+            let mut best_score = score_of(current);
+            for w in 0..=self.config.max_ways {
+                let score = score_of(w);
+                if score > best_score {
+                    best_score = score;
+                    best_w = w;
+                }
+            }
+            // Hysteresis: repartitioning costs a shuffle, so only move
+            // for a clear (>12.5%) win.
+            if best_w != current && best_score < score_of(current) + score_of(current) / 8 {
+                best_w = current;
+            }
+            if best_w != self.store.ways() {
+                // The headline cost: the two-level index function changes
+                // with the way count, so every surviving block must be
+                // shuffled to its new location (up to 1 MB of traffic).
+                self.store.resize(best_w);
+                let moved = self.store.valid_blocks() as u32;
+                ctx.rearrange(moved);
+                self.stats.resizes += 1;
+            }
+        }
+        self.store.reset_hist();
+        self.shadow.reset();
+    }
+}
+
+impl Default for Triangel {
+    fn default() -> Self {
+        Triangel::new()
+    }
+}
+
+impl TemporalPrefetcher for Triangel {
+    fn name(&self) -> &'static str {
+        if self.config.dedicated {
+            "triangel-ideal"
+        } else {
+            "triangel"
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent) -> Vec<Line> {
+        let decision = self.tu.observe(ev.pc, ev.line);
+
+        // --- Training: store the completed correlation if the PC's
+        // reuse confidence allows it, deduplicating through the MRB.
+        if let Some((trigger, target)) = decision.correlation {
+            if let Some(stored) = self.store.peek(trigger.0) {
+                if stored == target.0 {
+                    self.stats.correlation_hits += 1;
+                }
+            }
+            if decision.may_store {
+                if self.mrb.contains_pair(trigger.0, target) {
+                    self.stats.redundant_inserts += 1;
+                } else {
+                    match self
+                        .store
+                        .insert_at(trigger.0, target.0, SRRIP_INSERT_FRAC)
+                    {
+                        InsertOutcome::Redundant => self.stats.redundant_inserts += 1,
+                        _ => {
+                            self.stats.inserts += 1;
+                            ctx.write_block();
+                        }
+                    }
+                    self.mrb.update(trigger.0, target);
+                }
+            }
+        }
+
+        // --- Prefetching: chase up to the confidence-granted degree,
+        // checking the MRB before paying for LLC metadata reads.
+        let mut out = Vec::with_capacity(decision.degree);
+        let mut cur = ev.line;
+        for _ in 0..decision.degree {
+            self.stats.trigger_lookups += 1;
+            let target = match self.mrb.lookup(cur.0) {
+                Some(t) => {
+                    self.stats.trigger_hits += 1;
+                    Some(t)
+                }
+                None => {
+                    // Tag check first; only a hit transfers the block.
+                    match self.store.lookup(cur.0) {
+                        Some(t) => {
+                            self.stats.trigger_hits += 1;
+                            ctx.read_block();
+                            self.mrb.update(cur.0, Line(t));
+                            Some(Line(t))
+                        }
+                        None => None,
+                    }
+                }
+            };
+            let Some(target) = target else { break };
+            if target == ev.line || out.contains(&target) {
+                break;
+            }
+            out.push(target);
+            cur = target;
+        }
+        self.stats.prefetches_issued += out.len() as u64;
+
+        self.maybe_repartition(ctx);
+        out
+    }
+
+    fn observe_llc(&mut self, line: Line) {
+        self.shadow.observe(line);
+    }
+
+    fn partition(&self) -> PartitionSpec {
+        if self.config.dedicated {
+            return PartitionSpec::Dedicated;
+        }
+        match self.store.ways() {
+            0 => PartitionSpec::None,
+            w => PartitionSpec::Ways { ways: w },
+        }
+    }
+
+    fn stats(&self) -> TemporalStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpsim::L2EventKind;
+    use tptrace::record::Pc;
+
+    fn ev(pc: u64, line: u64) -> TemporalEvent {
+        TemporalEvent {
+            pc: Pc(pc),
+            line: Line(line),
+            kind: L2EventKind::DemandMiss,
+            now: 0,
+        }
+    }
+
+    fn drive(t: &mut Triangel, pc: u64, lines: &[u64]) -> (Vec<Vec<Line>>, u64, u64) {
+        let mut reads = 0;
+        let mut writes = 0;
+        let out = lines
+            .iter()
+            .map(|&l| {
+                let mut ctx = MetaCtx::new(0, 0.0);
+                let r = t.on_event(&mut ctx, ev(pc, l));
+                reads += ctx.reads() as u64;
+                writes += ctx.writes() as u64;
+                r
+            })
+            .collect();
+        (out, reads, writes)
+    }
+
+    #[test]
+    fn learns_stable_stream_and_prefetches_at_degree() {
+        let mut t = Triangel::new();
+        let seq: Vec<u64> = (0..50).map(|i| 3000 + i * 5).collect();
+        for _ in 0..12 {
+            drive(&mut t, 1, &seq);
+        }
+        let (out, _, _) = drive(&mut t, 1, &seq);
+        let max_deg = out.iter().map(Vec::len).max().unwrap();
+        assert_eq!(max_deg, 4, "confident PC should reach degree 4");
+        assert!(out[5].contains(&Line(3000 + 6 * 5)));
+    }
+
+    #[test]
+    fn scan_pcs_are_filtered_from_metadata() {
+        let mut t = Triangel::new();
+        // Unique triggers: reuse confidence collapses; inserts stop.
+        let lines: Vec<u64> = (0..30_000).map(|i| 900_000 + i).collect();
+        drive(&mut t, 2, &lines);
+        let inserted = t.stats.inserts;
+        let lines2: Vec<u64> = (0..5_000).map(|i| 2_900_000 + i).collect();
+        drive(&mut t, 2, &lines2);
+        let later = t.stats.inserts - inserted;
+        assert!(
+            (later as f64) < lines2.len() as f64 * 0.2,
+            "filtered PC kept inserting: {later}"
+        );
+    }
+
+    #[test]
+    fn mrb_cuts_metadata_reads_on_hot_chains() {
+        let mut t = Triangel::new();
+        let seq: Vec<u64> = (0..8).map(|i| 100 + i).collect();
+        for _ in 0..10 {
+            drive(&mut t, 3, &seq);
+        }
+        let (_, reads, _) = drive(&mut t, 3, &seq);
+        // A short hot loop should mostly hit the 32-entry MRB.
+        assert!(reads < 16, "MRB should absorb reads: {reads}");
+    }
+
+    #[test]
+    fn capacity_matches_paper_geometry() {
+        let t = Triangel::new();
+        // 2048 sets x 8 ways x 12 correlations = 192K correlations at 1MB
+        // (vs Streamline's 256K: the 33% gap).
+        assert_eq!(t.capacity_correlations(), 2048 * 8 * 12);
+    }
+
+    #[test]
+    fn repartition_charges_rearrangement() {
+        let mut t = Triangel::with_config(TriangelConfig {
+            epoch: 500,
+            ..TriangelConfig::default()
+        });
+        // Phase 1: strong temporal use (keeps ways). Phase 2: deep
+        // per-set data reuse with no temporal pattern (needs >8 LLC
+        // ways, so the dueler shrinks the partition -> rearrangement).
+        let seq: Vec<u64> = (0..200).map(|i| 10_000 + i).collect();
+        let mut rearranged = 0u64;
+        for _ in 0..5 {
+            for &l in &seq {
+                let mut ctx = MetaCtx::new(0, 0.0);
+                t.on_event(&mut ctx, ev(1, l));
+                rearranged += ctx.rearranged() as u64;
+            }
+        }
+        let mut x = 1u64;
+        for i in 0..6_000u64 {
+            let l = if i % 2 == 0 {
+                (i / 2 % 14) * 2048 // 14-deep loop in sampled set 0
+            } else {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+                (x >> 20) | (1 << 44) // unique: no temporal value
+            };
+            let mut ctx = MetaCtx::new(0, 0.0);
+            t.on_event(&mut ctx, ev(2, l));
+            // The engine forwards sampled LLC accesses; emulate it.
+            if (l as usize & 2047) % 32 == 0 {
+                t.observe_llc(Line(l));
+            }
+            rearranged += ctx.rearranged() as u64;
+        }
+        assert!(t.stats.resizes > 0, "expected at least one resize");
+        assert!(rearranged > 0, "resizes must shuffle metadata blocks");
+    }
+
+    #[test]
+    fn ideal_variant_uses_dedicated_partition() {
+        let t = Triangel::ideal();
+        assert_eq!(t.partition(), PartitionSpec::Dedicated);
+        assert_eq!(t.name(), "triangel-ideal");
+    }
+
+    #[test]
+    fn fixed_ways_pins_partition() {
+        let mut t = Triangel::with_config(TriangelConfig {
+            fixed_ways: Some(4),
+            epoch: 100,
+            ..TriangelConfig::default()
+        });
+        let lines: Vec<u64> = (0..1_000).map(|i| i * 3).collect();
+        drive(&mut t, 1, &lines);
+        assert_eq!(t.ways(), 4);
+        assert_eq!(t.partition(), PartitionSpec::Ways { ways: 4 });
+    }
+}

@@ -1,0 +1,56 @@
+//! Graph-analytics deep dive: run the six GAP kernels under baseline,
+//! Triangel, and Streamline, reporting per-kernel speedup, coverage, and
+//! metadata traffic — the regime where the paper's storage-efficiency
+//! argument plays out.
+//!
+//! ```sh
+//! cargo run --release --example graph_analytics [test|small|full]
+//! ```
+
+use streamline_repro::prelude::*;
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("small") => Scale::Small,
+        Some("full") => Scale::Full,
+        _ => Scale::Test,
+    };
+    let base = Experiment::new(scale).l1(L1Kind::Stride);
+    let kernels: Vec<Workload> = workloads::memory_intensive()
+        .into_iter()
+        .filter(|w| w.suite == Suite::Gap)
+        .collect();
+
+    let mut table = Table::new(
+        format!("GAP kernels ({scale})"),
+        &[
+            "kernel",
+            "base IPC",
+            "triangel",
+            "streamline",
+            "cov T",
+            "cov S",
+            "traffic T",
+            "traffic S",
+        ],
+    );
+    for w in &kernels {
+        eprintln!("running {}...", w.name);
+        let b = run_single(w, &base);
+        let t = run_single(w, &base.clone().temporal(TemporalKind::Triangel));
+        let s = run_single(w, &base.clone().temporal(TemporalKind::Streamline));
+        let ipc = |r: &SimReport| r.cores[0].ipc();
+        table.row(&[
+            w.name.to_string(),
+            format!("{:.3}", ipc(&b)),
+            format!("{:+.1}%", (ipc(&t) / ipc(&b) - 1.0) * 100.0),
+            format!("{:+.1}%", (ipc(&s) / ipc(&b) - 1.0) * 100.0),
+            format!("{:.0}%", t.cores[0].temporal_coverage() * 100.0),
+            format!("{:.0}%", s.cores[0].temporal_coverage() * 100.0),
+            t.cores[0].temporal.traffic_blocks().to_string(),
+            s.cores[0].temporal.traffic_blocks().to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nThe paper's headline: Streamline's +33% correlation capacity and retention-friendly replacement pay off most on these kernels.");
+}

@@ -1,0 +1,17 @@
+fn main() {
+    use streamline_repro::prelude::*;
+    let w = workloads::by_name("spec06.libquantum").unwrap();
+    let bare = Experiment::new(Scale::Test);
+    let stride = bare.clone().l1(L1Kind::Stride);
+    let b = run_single(&w, &bare).cores[0].ipc();
+    let s = run_single(&w, &stride).cores[0].ipc();
+    println!("libquantum bare {b:.3} stride {s:.3} ratio {:.2}", s/b);
+    for n in ["spec06.mcf", "gap.bfs"] {
+        let w = workloads::by_name(n).unwrap();
+        let base = Experiment::new(Scale::Test).l1(L1Kind::Stride);
+        let bb = run_single(&w, &base).cores[0].ipc();
+        let tt = run_single(&w, &base.clone().temporal(TemporalKind::Triangel)).cores[0].ipc();
+        let ss = run_single(&w, &base.clone().temporal(TemporalKind::Streamline)).cores[0].ipc();
+        println!("{n} base {bb:.3} triangel {tt:.3} ({:+.1}%) streamline {ss:.3} ({:+.1}%)", (tt/bb-1.0)*100.0, (ss/bb-1.0)*100.0);
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every paper table/figure, teeing outputs to results/.
+# Usage: ./run_figures.sh [scale]   (default: small)
+set -e
+SCALE=${1:-small}
+mkdir -p results
+run() {
+  echo "== $1 ($2) =="
+  cargo run --release -q -p tpbench --bin "$1" -- --scale="$2" $3 2>results/"$1".log | tee results/"$1".txt
+}
+run table1_partitioning "$SCALE"
+run table2_params "$SCALE"
+run fig09_single_core "$SCALE"
+run fig12_stream_issues "$SCALE"
+run fig13_metadata "$SCALE"
+run fig14_ablation "$SCALE"
+run fig15_filtering "$SCALE"
+run fig10_perf "$SCALE" --quick
+run fig11_regular "$SCALE" --quick
