@@ -5,9 +5,8 @@
 //! prefetch degree sweep.
 
 use streamline_core::StreamlineConfig;
-use tpbench::{contenders, paired_runs, scale_from_args, stride_baseline};
+use tpbench::{contenders, mix_runs, paired_runs, scale_from_args, stride_baseline};
 use tpharness::baselines::TemporalKind;
-use tpharness::experiment::run_mix;
 use tpharness::metrics::{gmean, mix_speedup, summarize};
 use tpharness::report::Table;
 use tptrace::{workloads, MixGenerator, Suite};
@@ -26,16 +25,19 @@ fn main() {
     for cores in [2usize, 4, 8] {
         let n_mixes = if quick { 4 } else { if cores == 8 { 8 } else { 12 } };
         let mixes = MixGenerator::new(0xF16_0A + cores as u64).mixes(cores, n_mixes);
+        let exps = [
+            base.clone(),
+            base.clone().temporal(TemporalKind::Triangel),
+            base.clone().temporal(TemporalKind::Streamline),
+        ];
+        let grouped = mix_runs(&mixes, &exps);
         let mut tri = Vec::new();
         let mut stl = Vec::new();
         let mut stl_wins = 0;
-        for m in &mixes {
+        for (m, reports) in mixes.iter().zip(&grouped) {
             eprintln!("  {cores}C {}", m.label());
-            let b = run_mix(m, &base);
-            let t = run_mix(m, &base.clone().temporal(TemporalKind::Triangel));
-            let s = run_mix(m, &base.clone().temporal(TemporalKind::Streamline));
-            let ts = mix_speedup(&b, &t);
-            let ss = mix_speedup(&b, &s);
+            let ts = mix_speedup(&reports[0], &reports[1]);
+            let ss = mix_speedup(&reports[0], &reports[2]);
             tri.push(ts);
             stl.push(ss);
             if ss > ts {

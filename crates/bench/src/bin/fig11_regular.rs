@@ -5,9 +5,9 @@
 //! prefetchers IPCP / Bingo / SPP-PPF with and without the temporal
 //! prefetchers; (d) the added coverage on top of each L2 prefetcher.
 
-use tpbench::{paired_runs, scale_from_args};
+use tpbench::{mix_runs, paired_runs, scale_from_args};
 use tpharness::baselines::{L1Kind, L2Kind, TemporalKind};
-use tpharness::experiment::{run_mix, Experiment};
+use tpharness::experiment::Experiment;
 use tpharness::metrics::{gmean, mix_speedup, summarize};
 use tpharness::report::Table;
 use tptrace::{workloads, MixGenerator};
@@ -52,19 +52,18 @@ fn main() {
     for cores in [2usize, 4, 8] {
         let n = if quick { 3 } else { 8 };
         let mixes = MixGenerator::new(0xF11B + cores as u64).mixes(cores, n);
+        let exps = [
+            berti_base.clone(),
+            berti_base.clone().temporal(TemporalKind::Triangel),
+            berti_base.clone().temporal(TemporalKind::Streamline),
+        ];
+        let grouped = mix_runs(&mixes, &exps);
         let mut tri = Vec::new();
         let mut stl = Vec::new();
-        for m in &mixes {
+        for (m, reports) in mixes.iter().zip(&grouped) {
             eprintln!("  {cores}C {}", m.label());
-            let base_r = run_mix(m, &berti_base);
-            tri.push(mix_speedup(
-                &base_r,
-                &run_mix(m, &berti_base.clone().temporal(TemporalKind::Triangel)),
-            ));
-            stl.push(mix_speedup(
-                &base_r,
-                &run_mix(m, &berti_base.clone().temporal(TemporalKind::Streamline)),
-            ));
+            tri.push(mix_speedup(&reports[0], &reports[1]));
+            stl.push(mix_speedup(&reports[0], &reports[2]));
         }
         b.row(&[
             cores.to_string(),

@@ -1,0 +1,136 @@
+//! Micro-benchmarks for the core data structures: how fast are the
+//! prefetcher operations themselves? (These complement the figure
+//! binaries, which measure *simulated* performance.)
+//!
+//! The build environment is offline, so this is a self-timed harness on
+//! `std::time::Instant` rather than criterion: each case is warmed up,
+//! then run for a fixed wall-clock budget and reported as ns/op.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use streamline_core::{align, StreamEntry, StreamStore, Streamline, StreamlineConfig};
+use tpsim::{L2EventKind, MetaCtx, TemporalEvent, TemporalPrefetcher};
+use tptrace::record::{Line, Pc};
+
+/// Runs `op` repeatedly for ~`budget` and returns (iterations, ns/op).
+fn time_case(budget: Duration, mut op: impl FnMut()) -> (u64, f64) {
+    // Warmup.
+    for _ in 0..100 {
+        op();
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..100 {
+            op();
+        }
+        iters += 100;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (iters, ns)
+}
+
+fn report(name: &str, budget: Duration, op: impl FnMut()) {
+    let (iters, ns) = time_case(budget, op);
+    println!("{name:32} {ns:>12.1} ns/op   ({iters} iters)");
+}
+
+fn main() {
+    let budget = Duration::from_millis(300);
+    println!("{:32} {:>12}", "case", "time");
+
+    // Stream-store insert (batch of 64 into a fresh store).
+    report("stream_store/insert_batch64", budget, || {
+        let mut store = StreamStore::new(StreamlineConfig::default());
+        for t in 1..=64u64 {
+            let e = StreamEntry::new(
+                Line(t * 131),
+                vec![Line(t + 1), Line(t + 2), Line(t + 3), Line(t + 4)],
+            );
+            black_box(store.insert(e, (t % 251) as u8));
+        }
+    });
+
+    // Stream-store lookup hit.
+    {
+        let mut store = StreamStore::new(StreamlineConfig::default());
+        for t in 0..4096u64 {
+            let e = StreamEntry::new(
+                Line(t * 131),
+                vec![Line(t + 1), Line(t + 2), Line(t + 3), Line(t + 4)],
+            );
+            store.insert(e, (t % 251) as u8);
+        }
+        let mut t = 0u64;
+        report("stream_store/lookup_hit", budget, || {
+            t = (t + 1) % 4096;
+            black_box(store.lookup(Line(t * 131), (t % 251) as u8));
+        });
+    }
+
+    // Stream alignment.
+    {
+        let old = StreamEntry::new(Line(10), vec![Line(20), Line(30), Line(40), Line(50)]);
+        let new = StreamEntry::new(Line(20), vec![Line(30), Line(41), Line(51), Line(61)]);
+        report("stream_align", budget, || {
+            black_box(align(&old, &new, 4));
+        });
+    }
+
+    // Prefetcher event handling.
+    {
+        let mut pf = Streamline::new();
+        let mut i = 0u64;
+        report("on_event/streamline", budget, || {
+            i += 1;
+            let mut ctx = MetaCtx::new(i, 0.9);
+            black_box(pf.on_event(
+                &mut ctx,
+                TemporalEvent {
+                    pc: Pc(0x400),
+                    line: Line(1000 + (i % 20_000) * 3),
+                    kind: L2EventKind::DemandMiss,
+                    now: i,
+                },
+            ));
+        });
+    }
+    {
+        let mut pf = triangel::Triangel::new();
+        let mut i = 0u64;
+        report("on_event/triangel", budget, || {
+            i += 1;
+            let mut ctx = MetaCtx::new(i, 0.9);
+            black_box(pf.on_event(
+                &mut ctx,
+                TemporalEvent {
+                    pc: Pc(0x400),
+                    line: Line(1000 + (i % 20_000) * 3),
+                    kind: L2EventKind::DemandMiss,
+                    now: i,
+                },
+            ));
+        });
+    }
+
+    // End-to-end simulator throughput on a small trace.
+    {
+        use tpsim::{CorePlan, Engine, SystemConfig};
+        use tptrace::{workloads, Scale};
+        let w = workloads::by_name("spec06.bzip2").unwrap();
+        let trace = w.generate(Scale::Test);
+        let accesses = trace.len();
+        let start = Instant::now();
+        let mut runs = 0u32;
+        while start.elapsed() < Duration::from_secs(2) {
+            let plan = CorePlan::bare(trace.clone());
+            black_box(Engine::new(SystemConfig::single_core(), vec![plan]).run());
+            runs += 1;
+        }
+        let per_access = start.elapsed().as_nanos() as f64 / (runs as f64 * accesses as f64);
+        println!(
+            "{:32} {per_access:>12.1} ns/access ({runs} runs of {accesses} accesses)",
+            "simulator/bare"
+        );
+    }
+}

@@ -14,13 +14,20 @@
 //! | `fig14_ablation` | Fig. 14 — component ablations |
 //! | `fig15_filtering` | Fig. 15 — filtering loss, realignment, skew, hybrid |
 //!
-//! Run with `--scale=test|small|full` (default `small`). All binaries are
-//! deterministic. Criterion micro-benchmarks for the core data
-//! structures live in `benches/`.
+//! Run with `--scale=test|small|full` (default `small`) and
+//! `--jobs=N` (default: the `TPSIM_JOBS` environment variable, else all
+//! available cores) to fan independent simulations out over worker
+//! threads. Parallel runs are **bit-identical** to `--jobs=1`: jobs go
+//! through [`tpharness::sweep::SweepRunner`], which reassembles results
+//! in canonical job order and derives seeds independently of
+//! scheduling. Self-timed micro-benchmarks for the core data structures
+//! live in the `micro_bench` binary.
 
+use std::sync::OnceLock;
 use tpharness::baselines::{L1Kind, TemporalKind};
-use tpharness::experiment::{run_single, Experiment};
+use tpharness::experiment::Experiment;
 use tpharness::metrics::PairedRun;
+use tpharness::sweep::{SweepJob, SweepRunner};
 use tptrace::{Scale, Workload};
 
 /// Parses `--scale=` from argv (default [`Scale::Small`]).
@@ -38,40 +45,58 @@ pub fn scale_from_args() -> Scale {
     Scale::Small
 }
 
-/// Runs `pool` under `base` and `with`, returning paired results and
-/// printing one progress line per workload. Baseline runs are cached
-/// per (workload, baseline signature) within the process, so sweeps
-/// that revisit the same baseline don't re-simulate it.
-pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> Vec<PairedRun> {
-    use std::collections::HashMap;
-    use std::sync::Mutex;
-    use tpsim::SimReport;
-    static BASE_CACHE: Mutex<Option<HashMap<String, SimReport>>> = Mutex::new(None);
+/// Parses `--jobs=N` from argv. Falls back to the `TPSIM_JOBS`
+/// environment variable, then to the machine's available parallelism
+/// (both handled by [`SweepRunner::new`]).
+pub fn jobs_from_args() -> Option<usize> {
+    for a in std::env::args() {
+        if let Some(j) = a.strip_prefix("--jobs=") {
+            let n: usize = j
+                .parse()
+                .unwrap_or_else(|_| panic!("bad --jobs value {j:?} (want a positive integer)"));
+            assert!(n > 0, "--jobs must be at least 1");
+            return Some(n);
+        }
+    }
+    None
+}
 
-    let base_key = |w: &Workload| {
-        format!(
-            "{}|{}|{}|{}|{}",
-            w.name,
-            base.scale,
-            base.l1.name(),
-            base.l2.name(),
-            base.bandwidth_factor
-        )
-    };
+/// The process-wide sweep runner shared by every figure section, so the
+/// result cache spans a whole binary: a config revisited across
+/// sections (the stride baseline, most commonly) is simulated once.
+pub fn runner() -> &'static SweepRunner {
+    static RUNNER: OnceLock<SweepRunner> = OnceLock::new();
+    RUNNER.get_or_init(|| {
+        let runner = SweepRunner::new();
+        let runner = match jobs_from_args() {
+            Some(n) => runner.with_workers(n),
+            None => runner,
+        };
+        eprintln!("sweep runner: {} worker(s)", runner.workers());
+        runner
+    })
+}
+
+/// Runs `pool` under `base` and `with` through the shared parallel
+/// [`runner`], returning paired results in pool order and printing one
+/// progress line per workload. Results are cached per
+/// `(workload, experiment fingerprint)` within the process, so sweeps
+/// that revisit a configuration don't re-simulate it.
+pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> Vec<PairedRun> {
+    let jobs: Vec<SweepJob> = pool
+        .iter()
+        .flat_map(|w| {
+            [
+                SweepJob::single(w.clone(), base.clone()),
+                SweepJob::single(w.clone(), with.clone()),
+            ]
+        })
+        .collect();
+    let reports = runner().run(&jobs);
     pool.iter()
-        .map(|w| {
-            let key = base_key(w);
-            let cached = {
-                let guard = BASE_CACHE.lock().expect("cache lock");
-                guard.as_ref().and_then(|m| m.get(&key).cloned())
-            };
-            let b = cached.unwrap_or_else(|| {
-                let r = run_single(w, base);
-                let mut guard = BASE_CACHE.lock().expect("cache lock");
-                guard.get_or_insert_with(HashMap::new).insert(key, r.clone());
-                r
-            });
-            let x = run_single(w, with);
+        .zip(reports.chunks_exact(2))
+        .map(|(w, pair)| {
+            let (b, x) = (pair[0].clone(), pair[1].clone());
             eprintln!(
                 "  {:20} base {:.3} -> {:.3} ({:+.1}%)",
                 w.name,
@@ -85,6 +110,21 @@ pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> V
                 with: x,
             }
         })
+        .collect()
+}
+
+/// Runs every `(mix, experiment)` combination through the shared
+/// parallel [`runner`] and returns the reports grouped per mix, in
+/// submission order: `result[i][j]` is `mixes[i]` under `exps[j]`.
+pub fn mix_runs(mixes: &[tptrace::Mix], exps: &[Experiment]) -> Vec<Vec<tpsim::SimReport>> {
+    let jobs: Vec<SweepJob> = mixes
+        .iter()
+        .flat_map(|m| exps.iter().map(|e| SweepJob::mix(m.clone(), e.clone())))
+        .collect();
+    let reports = runner().run(&jobs);
+    reports
+        .chunks_exact(exps.len().max(1))
+        .map(|chunk| chunk.to_vec())
         .collect()
 }
 
@@ -127,6 +167,24 @@ mod tests {
     #[test]
     fn default_scale_is_small() {
         assert_eq!(scale_from_args(), Scale::Small);
+    }
+
+    #[test]
+    fn jobs_flag_defaults_to_unset() {
+        assert_eq!(jobs_from_args(), None);
+    }
+
+    #[test]
+    fn paired_runs_go_through_the_shared_cache() {
+        let pool = [workloads::by_name("spec06.bzip2").unwrap()];
+        let base = stride_baseline(Scale::Test);
+        let with = base.clone().temporal(TemporalKind::Streamline);
+        let a = paired_runs(&pool, &base, &with);
+        let cached = runner().cached_jobs();
+        let b = paired_runs(&pool, &base, &with);
+        assert_eq!(runner().cached_jobs(), cached, "second sweep fully cached");
+        assert_eq!(a[0].base.cores[0].cycles, b[0].base.cores[0].cycles);
+        assert_eq!(a[0].with.cores[0].cycles, b[0].with.cores[0].cycles);
     }
 
     #[test]

@@ -59,6 +59,18 @@ impl Experiment {
         self
     }
 
+    /// A stable, human-readable fingerprint of every knob that affects
+    /// simulation results. Two experiments with equal fingerprints are
+    /// interchangeable, which is what the sweep runner's result cache
+    /// keys on (together with the workload identity).
+    ///
+    /// Derived from the `Debug` form, which spells out the scale, all
+    /// three prefetcher kinds (including embedded ablation configs),
+    /// the bandwidth factor, and the warmup fraction.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
     fn plan(&self, w: &Workload) -> CorePlan {
         let mut plan = CorePlan::bare(w.generate(self.scale));
         if let Some(p) = self.l1.build() {

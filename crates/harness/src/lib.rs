@@ -5,8 +5,10 @@
 //! This crate turns the simulator + prefetcher crates into the paper's
 //! experiments: it names prefetcher configurations ([`baselines`]),
 //! runs single-core workloads and multi-core mixes ([`experiment`]),
-//! aggregates speedup/coverage/accuracy/traffic metrics per suite
-//! ([`metrics`]), and prints paper-style tables ([`report`]).
+//! fans independent jobs out over a deterministic parallel sweep runner
+//! with result caching ([`sweep`]), aggregates speedup/coverage/
+//! accuracy/traffic metrics per suite ([`metrics`]), and prints
+//! paper-style tables ([`report`]).
 //!
 //! Every `tpbench` figure binary is a thin composition of these pieces.
 //!
@@ -28,8 +30,10 @@ pub mod baselines;
 pub mod experiment;
 pub mod metrics;
 pub mod report;
+pub mod sweep;
 
 pub use baselines::{L1Kind, L2Kind, TemporalKind};
 pub use experiment::{run_mix, run_single, Experiment};
 pub use metrics::{gmean, SuiteSummary};
 pub use report::Table;
+pub use sweep::{derive_seed, SweepJob, SweepRunner};

@@ -70,7 +70,15 @@ impl AccessPrefetcher for Berti {
         // Periodically promote the best-scoring deltas.
         if e.samples >= EVAL_PERIOD {
             let mut ranked: Vec<(i64, u32)> = e.scores.iter().map(|(&d, &s)| (d, s)).collect();
-            ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.abs().cmp(&b.0.abs())));
+            // The final tie-break on the signed delta makes the order a
+            // total one: without it, +d and -d with equal scores would
+            // rank in HashMap iteration order, which varies between
+            // instances and would break bit-reproducible sweeps.
+            ranked.sort_unstable_by(|a, b| {
+                b.1.cmp(&a.1)
+                    .then(a.0.abs().cmp(&b.0.abs()))
+                    .then(a.0.cmp(&b.0))
+            });
             e.best = ranked
                 .into_iter()
                 .take_while(|&(_, s)| s >= SCORE_THRESHOLD)

@@ -18,7 +18,12 @@ use std::collections::HashMap;
 use tptrace::record::{Line, Pc};
 
 /// A regular prefetcher attached to one cache level.
-pub trait AccessPrefetcher {
+///
+/// `Send` is a supertrait so that boxed prefetchers (and therefore
+/// [`crate::CorePlan`]s and [`crate::Engine`]s) can move across the
+/// harness's sweep-runner worker threads. Prefetchers are plain data
+/// structures, so the bound costs implementors nothing.
+pub trait AccessPrefetcher: Send {
     /// Human-readable name.
     fn name(&self) -> &'static str;
     /// Observes a demand access; returns lines to prefetch into the
@@ -150,7 +155,11 @@ impl MetaCtx {
 }
 
 /// An on-chip temporal prefetcher (Triage / Triangel / Streamline).
-pub trait TemporalPrefetcher {
+///
+/// `Send` is a supertrait for the same reason as [`AccessPrefetcher`]:
+/// sweep workers build and run whole [`crate::Engine`]s on worker
+/// threads.
+pub trait TemporalPrefetcher: Send {
     /// Human-readable name.
     fn name(&self) -> &'static str;
 

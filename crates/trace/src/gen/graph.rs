@@ -12,8 +12,7 @@ use super::{permutation, region, rng};
 use crate::record::LINE_SIZE;
 use crate::trace::{Trace, TraceBuilder};
 use crate::workloads::{Scale, Suite};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use crate::rng::SmallRng;
 
 /// A synthetic scale-free graph in CSR form with shuffled vertex-property
 /// placement.

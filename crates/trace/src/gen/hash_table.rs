@@ -4,7 +4,6 @@ use super::{permutation, region, rng, Zipf};
 use crate::record::LINE_SIZE;
 use crate::trace::{Trace, TraceBuilder};
 use crate::workloads::{Scale, Suite};
-use rand::Rng;
 
 /// SPEC `omnetpp`-like workload: discrete-event simulation dominated by
 /// skewed hash-table probes and short chain walks.
@@ -19,7 +18,7 @@ pub fn omnetpp_like(scale: Scale, seed: u64) -> Trace {
     let keys = 12_000 * f;
     let probes_per_epoch = 24_000 * f;
     let epochs = 4;
-    let jitter_window = 8;
+    let jitter_window = 8usize;
 
     let mut r = rng(seed);
     let bucket_place = permutation(&mut r, buckets);

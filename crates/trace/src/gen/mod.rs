@@ -29,8 +29,7 @@ pub use pointer_chase::{mcf_like, xalanc_like};
 pub use sparse::sparse_like;
 pub use stream::{phased_like, scan_like, stencil_like, stream_like};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Creates the deterministic RNG used by every generator.
 pub(crate) fn rng(seed: u64) -> SmallRng {
@@ -74,7 +73,7 @@ impl Zipf {
     }
 
     pub(crate) fn sample(&self, rng: &mut SmallRng) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),

@@ -4,7 +4,6 @@ use super::{permutation, region, rng};
 use crate::record::LINE_SIZE;
 use crate::trace::{Trace, TraceBuilder};
 use crate::workloads::{Scale, Suite};
-use rand::Rng;
 
 /// SPEC `mcf`-like workload: network-simplex style pointer chasing over a
 /// large pool of arc nodes placed at shuffled addresses, interleaved with

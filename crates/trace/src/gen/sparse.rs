@@ -4,7 +4,6 @@ use super::{permutation, region, rng};
 use crate::record::LINE_SIZE;
 use crate::trace::{Trace, TraceBuilder};
 use crate::workloads::{Scale, Suite};
-use rand::Rng;
 
 /// SPEC `soplex`-like workload: iterative sparse matrix-vector products
 /// over a fixed sparsity pattern.

@@ -4,7 +4,6 @@ use super::{permutation, region, rng};
 use crate::record::LINE_SIZE;
 use crate::trace::{Trace, TraceBuilder};
 use crate::workloads::{Scale, Suite};
-use rand::Rng;
 
 /// SPEC `libquantum`/`fotonik3d`/`roms`-like workload: long unit-stride
 /// streams over arrays far larger than the LLC. A stride prefetcher covers

@@ -30,6 +30,7 @@ pub mod gen;
 pub mod io;
 pub mod mix;
 pub mod record;
+pub mod rng;
 pub mod trace;
 pub mod workloads;
 

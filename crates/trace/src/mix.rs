@@ -6,8 +6,7 @@
 //! but configurable.
 
 use crate::workloads::{memory_intensive, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use std::fmt;
 
 /// A multi-programmed mix: one workload per core.

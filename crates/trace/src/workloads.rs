@@ -105,6 +105,17 @@ impl Workload {
     pub fn generate(&self, scale: Scale) -> Trace {
         (self.generator)(scale, self.seed)
     }
+
+    /// Returns a copy of this workload with its generator seed replaced.
+    ///
+    /// The sweep runner uses this to re-derive seeds from a stable
+    /// `(job key, base seed)` hash, so seed sweeps are independent of
+    /// job submission order and worker count.
+    pub fn with_seed(&self, seed: u64) -> Workload {
+        let mut w = self.clone();
+        w.seed = seed;
+        w
+    }
 }
 
 macro_rules! pool {

@@ -1,12 +1,17 @@
 #!/bin/sh
 # Regenerates every paper table/figure, teeing outputs to results/.
-# Usage: ./run_figures.sh [scale]   (default: small)
+# Usage: ./run_figures.sh [scale] [jobs]   (default: small, all cores)
+# Jobs can also be set via TPSIM_JOBS. Results are bit-identical for
+# any worker count: simulations fan out through the deterministic
+# sweep runner, which reassembles reports in canonical job order.
 set -e
 SCALE=${1:-small}
+JOBS=${2:-${TPSIM_JOBS:-$(nproc 2>/dev/null || echo 1)}}
 mkdir -p results
 run() {
-  echo "== $1 ($2) =="
-  cargo run --release -q -p tpbench --bin "$1" -- --scale="$2" $3 2>results/"$1".log | tee results/"$1".txt
+  echo "== $1 ($2, jobs=$JOBS) =="
+  cargo run --release -q -p tpbench --bin "$1" -- --scale="$2" --jobs="$JOBS" $3 \
+    2>results/"$1".log | tee results/"$1".txt
 }
 run table1_partitioning "$SCALE"
 run table2_params "$SCALE"

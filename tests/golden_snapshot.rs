@@ -1,0 +1,73 @@
+//! Golden-snapshot regression test: summary statistics for one small
+//! `Scale::Test` workload per suite, under the stride baseline and with
+//! Streamline on top, pinned at fixed precision.
+//!
+//! The simulator is a pure function of (trace, config) and the traces
+//! are seed-deterministic, so these numbers must reproduce exactly on
+//! any machine and any worker count. If a change to the simulator,
+//! prefetchers, trace generators, or RNG moves them, that change is not
+//! a refactor — either it fixed a bug (update the snapshot and say why
+//! in the commit) or it introduced one.
+
+use streamline_repro::prelude::*;
+use streamline_repro::tpharness::sweep::{SweepJob, SweepRunner};
+
+/// (workload, baseline IPC, streamline IPC, streamline L2 MPKI,
+/// temporal coverage %, temporal accuracy %), all at 4 decimals.
+const GOLDEN: &[(&str, &str, &str, &str, &str, &str)] = &[
+    ("spec06.mcf", "0.1314", "0.0980", "21.6968", "87.3761", "97.8795"),
+    ("spec17.xalancbmk", "0.1236", "0.1250", "14.8787", "91.0728", "99.9978"),
+    ("gap.bfs", "0.2250", "0.1457", "57.7071", "63.6836", "80.5800"),
+];
+
+fn snapshot(runner: &SweepRunner) -> Vec<(&'static str, String, String, String, String, String)> {
+    let base = Experiment::new(Scale::Test).l1(L1Kind::Stride);
+    let with = base.clone().temporal(TemporalKind::Streamline);
+    let jobs: Vec<SweepJob> = GOLDEN
+        .iter()
+        .flat_map(|&(name, ..)| {
+            let w = workloads::by_name(name).expect("registry workload");
+            [
+                SweepJob::single(w.clone(), base.clone()),
+                SweepJob::single(w, with.clone()),
+            ]
+        })
+        .collect();
+    let reports = runner.run(&jobs);
+    GOLDEN
+        .iter()
+        .zip(reports.chunks_exact(2))
+        .map(|(&(name, ..), pair)| {
+            let (b, s) = (&pair[0].cores[0], &pair[1].cores[0]);
+            (
+                name,
+                format!("{:.4}", b.ipc()),
+                format!("{:.4}", s.ipc()),
+                format!("{:.4}", s.l2_mpki()),
+                format!("{:.4}", s.temporal_coverage() * 100.0),
+                format!("{:.4}", s.temporal_accuracy() * 100.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn summary_stats_match_golden_snapshot() {
+    for (got, want) in snapshot(&SweepRunner::serial()).iter().zip(GOLDEN) {
+        assert_eq!(got.0, want.0);
+        assert_eq!(got.1, want.1, "{}: baseline IPC moved", want.0);
+        assert_eq!(got.2, want.2, "{}: streamline IPC moved", want.0);
+        assert_eq!(got.3, want.3, "{}: streamline L2 MPKI moved", want.0);
+        assert_eq!(got.4, want.4, "{}: temporal coverage moved", want.0);
+        assert_eq!(got.5, want.5, "{}: temporal accuracy moved", want.0);
+    }
+}
+
+#[test]
+fn golden_snapshot_is_worker_count_independent() {
+    assert_eq!(
+        snapshot(&SweepRunner::serial()),
+        snapshot(&SweepRunner::new().with_workers(8)),
+        "parallel snapshot diverged from serial"
+    );
+}

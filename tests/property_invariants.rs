@@ -1,47 +1,63 @@
-//! Property-based tests on cross-crate invariants (proptest).
+//! Property-based tests on cross-crate invariants (tpcheck).
 
-use proptest::prelude::*;
 use streamline_repro::prelude::*;
+use streamline_repro::streamline_core::{align, StoreInsert, StreamEntry, StreamStore};
 use streamline_repro::tpreplace::{min_sim, tpmin_sim};
-use streamline_repro::streamline_core::{align, StreamEntry, StreamStore};
 use streamline_repro::tptrace::record::Line;
+use tpcheck::{check, ensure, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random (trigger, target) metadata stream.
+fn stream(g: &mut Gen, triggers: u64, targets: u64, len: std::ops::Range<usize>) -> Vec<(u64, u64)> {
+    g.vec(len, |g| (g.u64_in(0..triggers), g.u64_in(0..targets)))
+}
 
-    /// TP-MIN is offline-optimal for correlation hits: it never loses to
-    /// trigger-keyed MIN on that metric, for any stream and capacity.
-    #[test]
-    fn tpmin_never_loses_to_min_on_correlations(
-        stream in prop::collection::vec((0u64..24, 0u64..6), 1..300),
-        cap in 1usize..12,
-    ) {
-        let tp = tpmin_sim(&stream, cap);
-        let mn = min_sim(&stream, cap);
-        prop_assert!(tp.correlation_hits >= mn.correlation_hits,
-            "tpmin {} < min {}", tp.correlation_hits, mn.correlation_hits);
-    }
+/// TP-MIN is offline-optimal for correlation hits: it never loses to
+/// trigger-keyed MIN on that metric, for any stream and capacity.
+#[test]
+fn tpmin_never_loses_to_min_on_correlations() {
+    check("tpmin >= min on correlation hits", 64, |g| {
+        let s = stream(g, 24, 6, 1..300);
+        let cap = g.usize_in(1..12);
+        let tp = tpmin_sim(&s, cap);
+        let mn = min_sim(&s, cap);
+        ensure!(
+            tp.correlation_hits >= mn.correlation_hits,
+            "tpmin {} < min {} (cap {cap}, {} accesses)",
+            tp.correlation_hits,
+            mn.correlation_hits,
+            s.len()
+        );
+        Ok(())
+    });
+}
 
-    /// MIN's trigger hits are an upper bound on TP-MIN's trigger hits
-    /// (MIN optimises triggers).
-    #[test]
-    fn min_maximises_trigger_hits(
-        stream in prop::collection::vec((0u64..16, 0u64..4), 1..200),
-        cap in 1usize..8,
-    ) {
-        let tp = tpmin_sim(&stream, cap);
-        let mn = min_sim(&stream, cap);
-        prop_assert!(mn.trigger_hits >= tp.trigger_hits);
-    }
+/// MIN's trigger hits are an upper bound on TP-MIN's trigger hits
+/// (MIN optimises triggers).
+#[test]
+fn min_maximises_trigger_hits() {
+    check("min >= tpmin on trigger hits", 64, |g| {
+        let s = stream(g, 16, 4, 1..200);
+        let cap = g.usize_in(1..8);
+        let tp = tpmin_sim(&s, cap);
+        let mn = min_sim(&s, cap);
+        ensure!(
+            mn.trigger_hits >= tp.trigger_hits,
+            "min {} < tpmin {}",
+            mn.trigger_hits,
+            tp.trigger_hits
+        );
+        Ok(())
+    });
+}
 
-    /// Stream alignment never loses a correlation of the new entry: the
-    /// aligned entry plus leftovers reproduce every new pair.
-    #[test]
-    fn alignment_preserves_new_correlations(
-        old_targets in prop::collection::vec(1u64..50, 4),
-        new_targets in prop::collection::vec(1u64..50, 4),
-        pos in 0usize..4,
-    ) {
+/// Stream alignment never loses a correlation of the new entry: the
+/// aligned entry plus leftovers reproduce every new pair.
+#[test]
+fn alignment_preserves_new_correlations() {
+    check("alignment preserves new correlations", 64, |g| {
+        let old_targets = g.vec(4..5, |g| g.u64_in(1..50));
+        let new_targets = g.vec(4..5, |g| g.u64_in(1..50));
+        let pos = g.usize_in(0..4);
         let old = StreamEntry::new(
             Line(100),
             old_targets.iter().map(|&t| Line(100 + t)).collect(),
@@ -54,50 +70,49 @@ proptest! {
         if let Some(a) = align(&old, &new, 4) {
             let mut chain: Vec<Line> = a.aligned.addresses().collect();
             chain.extend(a.leftover.iter().copied());
-            let merged: Vec<(Line, Line)> =
-                chain.windows(2).map(|w| (w[0], w[1])).collect();
+            let merged: Vec<(Line, Line)> = chain.windows(2).map(|w| (w[0], w[1])).collect();
             for p in new.pairs() {
-                prop_assert!(merged.contains(&p), "lost {p:?}");
+                ensure!(merged.contains(&p), "lost {p:?}");
             }
-            prop_assert!(a.aligned.correlations() <= 4);
-            prop_assert_eq!(a.aligned.trigger, Line(100));
+            ensure!(a.aligned.correlations() <= 4);
+            ensure!(a.aligned.trigger == Line(100));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The metadata store is a cache: lookups return exactly what was
-    /// last inserted for a trigger, or nothing — never someone else's
-    /// entry.
-    #[test]
-    fn store_never_returns_wrong_entry(
-        triggers in prop::collection::vec(0u64..500, 1..200),
-    ) {
+/// The metadata store is a cache: lookups return exactly what was last
+/// inserted for a trigger, or nothing — never someone else's entry.
+#[test]
+fn store_never_returns_wrong_entry() {
+    check("store never returns a wrong entry", 64, |g| {
+        let triggers = g.vec(1..200, |g| g.u64_in(0..500));
         let mut store = StreamStore::new(StreamlineConfig::default());
-        let mut last: std::collections::HashMap<u64, Vec<Line>> =
-            std::collections::HashMap::new();
+        let mut last: std::collections::HashMap<u64, Vec<Line>> = std::collections::HashMap::new();
         for (i, &t) in triggers.iter().enumerate() {
-            let targets: Vec<Line> =
-                (1..=4).map(|k| Line(t * 1000 + i as u64 + k)).collect();
+            let targets: Vec<Line> = (1..=4).map(|k| Line(t * 1000 + i as u64 + k)).collect();
             let e = StreamEntry::new(Line(t * 7919), targets.clone());
-            use streamline_repro::streamline_core::StoreInsert;
             if matches!(store.insert(e, (t % 251) as u8), StoreInsert::Stored { .. }) {
                 last.insert(t, targets);
             }
         }
         for (&t, expected) in &last {
             if let Some(found) = store.lookup(Line(t * 7919), (t % 251) as u8) {
-                prop_assert_eq!(&found.targets, expected, "trigger {}", t);
+                ensure!(&found.targets == expected, "trigger {t}: {found:?}");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Filtered indexing is a pure function: whether a trigger filters
-    /// depends only on the trigger and the partition size, never on
-    /// store contents.
-    #[test]
-    fn filtering_is_content_independent(
-        trigger in 0u64..1_000_000,
-        noise in prop::collection::vec(0u64..1_000_000, 0..50),
-    ) {
+/// Filtered indexing is a pure function: whether a trigger filters
+/// depends only on the trigger and the partition size, never on store
+/// contents.
+#[test]
+fn filtering_is_content_independent() {
+    check("filtering is content-independent", 64, |g| {
+        let trigger = g.u64_in(0..1_000_000);
+        let noise = g.vec(0..50, |g| g.u64_in(0..1_000_000));
         let mut cfg = StreamlineConfig::default();
         cfg.fixed_size = Some(PartitionSize::Half);
         let empty = StreamStore::new(cfg);
@@ -107,20 +122,30 @@ proptest! {
             let e = StreamEntry::new(Line(n), vec![Line(n + 1)]);
             let _ = full.insert(e, 0);
         }
-        prop_assert_eq!(before, full.would_filter(Line(trigger)));
-    }
+        ensure!(
+            before == full.would_filter(Line(trigger)),
+            "filtering decision for {trigger} changed with store contents"
+        );
+        Ok(())
+    });
+}
 
-    /// Trace generation is deterministic per (workload, scale).
-    #[test]
-    fn traces_are_deterministic(idx in 0usize..22) {
+/// Trace generation is deterministic per (workload, scale).
+#[test]
+fn traces_are_deterministic() {
+    check("traces are deterministic", 22, |g| {
         let pool = workloads::memory_intensive();
-        let w = &pool[idx % pool.len()];
+        let w = &pool[g.usize_in(0..pool.len())];
         let a = w.generate(Scale::Test);
         let b = w.generate(Scale::Test);
-        prop_assert_eq!(a.len(), b.len());
-        prop_assert_eq!(a.accesses()[..50.min(a.len())].to_vec(),
-                        b.accesses()[..50.min(b.len())].to_vec());
-    }
+        ensure!(a.len() == b.len(), "{}: {} vs {}", w.name, a.len(), b.len());
+        ensure!(
+            a.accesses()[..50.min(a.len())] == b.accesses()[..50.min(b.len())],
+            "{}: first accesses differ",
+            w.name
+        );
+        Ok(())
+    });
 }
 
 /// Mix generation draws only from the given pool and is seed-stable.

@@ -1,0 +1,107 @@
+//! Property tests for the sweep runner's scheduling machinery: for
+//! arbitrary job lists and worker counts, no job is lost or duplicated,
+//! results come back in canonical (submission) order, and cache hits
+//! are indistinguishable from fresh runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use streamline_repro::prelude::*;
+use streamline_repro::tpharness::sweep::{SweepJob, SweepRunner};
+use tpcheck::{check, ensure, Gen};
+
+/// `map` over an arbitrary item list with an arbitrary worker count
+/// returns exactly one output per item, in item order.
+#[test]
+fn map_loses_nothing_and_keeps_order() {
+    check("map keeps every item in order", 64, |g| {
+        let items = g.vec(0..300, |g| g.u64_in(0..1_000_000));
+        let workers = g.usize_in(1..9);
+        let runner = SweepRunner::new().with_workers(workers);
+        let calls = AtomicUsize::new(0);
+        let out = runner.map(&items, |i, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            // Unequal per-item cost skews which worker gets which item,
+            // exercising out-of-order completion.
+            let mut acc = x;
+            for _ in 0..(x % 97) {
+                acc = acc.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
+            }
+            (i, x, acc)
+        });
+        ensure!(
+            calls.load(Ordering::Relaxed) == items.len(),
+            "{} calls for {} items ({workers} workers)",
+            calls.load(Ordering::Relaxed),
+            items.len()
+        );
+        ensure!(out.len() == items.len(), "lost or duplicated outputs");
+        for (i, &(oi, ox, _)) in out.iter().enumerate() {
+            ensure!(oi == i, "slot {i} holds output {oi}");
+            ensure!(ox == items[i], "slot {i} holds the wrong item");
+        }
+        Ok(())
+    });
+}
+
+/// `map` output is a pure function of the item list: any two worker
+/// counts produce identical output vectors.
+#[test]
+fn map_is_worker_count_independent() {
+    check("map ignores worker count", 32, |g| {
+        let items = g.vec(1..200, |g| g.u64_in(0..1_000));
+        let wa = g.usize_in(1..9);
+        let wb = g.usize_in(1..9);
+        let f = |i: usize, x: &u64| x.wrapping_mul(31).wrapping_add(i as u64);
+        let a = SweepRunner::new().with_workers(wa).map(&items, f);
+        let b = SweepRunner::new().with_workers(wb).map(&items, f);
+        ensure!(a == b, "{wa} vs {wb} workers disagreed");
+        Ok(())
+    });
+}
+
+/// For arbitrary job sequences drawn from a small pool (with
+/// duplicates), `run` returns, at every position, exactly the report a
+/// direct serial run of that job would produce — whether the job was
+/// freshly simulated, deduplicated within the batch, or served from the
+/// cache of an earlier batch.
+#[test]
+fn run_matches_reference_for_arbitrary_job_sequences() {
+    let base = Experiment::new(Scale::Test).l1(L1Kind::Stride);
+    let pool: Vec<SweepJob> = [
+        ("spec06.bzip2", TemporalKind::None),
+        ("spec06.bzip2", TemporalKind::Streamline),
+        ("gap.tc", TemporalKind::Triangel),
+    ]
+    .iter()
+    .map(|&(name, kind)| {
+        SweepJob::single(
+            workloads::by_name(name).unwrap(),
+            base.clone().temporal(kind),
+        )
+    })
+    .collect();
+    // Reference reports from plain serial runs, one per distinct job.
+    let reference: Vec<String> = pool
+        .iter()
+        .map(|j| match j {
+            SweepJob::Single { workload, exp } => format!("{:?}", run_single(workload, exp)),
+            SweepJob::Mix { .. } => unreachable!(),
+        })
+        .collect();
+    // One shared runner across cases: later cases hit the cache, which
+    // must be indistinguishable from the fresh simulations of case 0.
+    let runner = SweepRunner::new();
+    check("run matches reference per position", 24, |g| {
+        let picks = g.vec(1..12, |g| g.usize_in(0..3));
+        let jobs: Vec<SweepJob> = picks.iter().map(|&p| pool[p].clone()).collect();
+        let reports = runner.run(&jobs);
+        ensure!(reports.len() == jobs.len(), "report count mismatch");
+        for (slot, (&p, r)) in picks.iter().zip(&reports).enumerate() {
+            ensure!(
+                format!("{r:?}") == reference[p],
+                "slot {slot} (pool job {p}) differs from its reference run"
+            );
+        }
+        Ok(())
+    });
+    assert_eq!(runner.cached_jobs(), pool.len(), "cache holds one entry per distinct key");
+}
