@@ -20,8 +20,11 @@
 //! threads. Parallel runs are **bit-identical** to `--jobs=1`: jobs go
 //! through [`tpharness::sweep::SweepRunner`], which reassembles results
 //! in canonical job order and derives seeds independently of
-//! scheduling. Self-timed micro-benchmarks for the core data structures
-//! live in the `micro_bench` binary.
+//! scheduling. Pass `--audit` to check every simulation's counters
+//! against the conservation laws in `tpsim::audit` (always on in debug
+//! builds; the flag enables the same checks in release runs).
+//! Self-timed micro-benchmarks for the core data structures live in the
+//! `micro_bench` binary.
 
 use std::sync::OnceLock;
 use tpharness::baselines::{L1Kind, TemporalKind};
@@ -61,18 +64,34 @@ pub fn jobs_from_args() -> Option<usize> {
     None
 }
 
+/// Parses `--audit` from argv: when present, every simulation's
+/// counters are checked against the conservation laws in `tpsim::audit`
+/// and a violation aborts the run (debug builds always check; this is
+/// the release-mode gate).
+pub fn audit_from_args() -> bool {
+    std::env::args().any(|a| a == "--audit")
+}
+
 /// The process-wide sweep runner shared by every figure section, so the
 /// result cache spans a whole binary: a config revisited across
 /// sections (the stride baseline, most commonly) is simulated once.
 pub fn runner() -> &'static SweepRunner {
     static RUNNER: OnceLock<SweepRunner> = OnceLock::new();
     RUNNER.get_or_init(|| {
-        let runner = SweepRunner::new();
+        let runner = SweepRunner::new().with_audit(audit_from_args());
         let runner = match jobs_from_args() {
             Some(n) => runner.with_workers(n),
             None => runner,
         };
-        eprintln!("sweep runner: {} worker(s)", runner.workers());
+        eprintln!(
+            "sweep runner: {} worker(s){}",
+            runner.workers(),
+            if runner.audits() {
+                ", conservation-law audit on"
+            } else {
+                ""
+            }
+        );
         runner
     })
 }

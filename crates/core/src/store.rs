@@ -193,6 +193,14 @@ impl StreamStore {
         self.cfg.filtering && !self.allocated_at(self.set_of(trigger), self.size)
     }
 
+    /// Whether `set_idx` is one of the 64 permanently allocated
+    /// TP-Mockingjay sample sets that train the reuse predictor (paper
+    /// Section IV-E4). The stride is derived from the set count so the
+    /// sample population stays 64 regardless of LLC geometry.
+    pub fn is_sample_set(&self, set_idx: usize) -> bool {
+        set_idx % (self.cfg.llc_sets / 64).max(1) == 0
+    }
+
     /// Inserts a completed stream entry.
     pub fn insert(&mut self, entry: StreamEntry, pc_hash: u8) -> StoreInsert {
         let set_idx = self.set_of(entry.trigger);
@@ -207,7 +215,7 @@ impl StreamStore {
         let stream_len = self.cfg.stream_len;
         // TP-Mockingjay: sampled sets train the reuse predictor on the
         // first correlation of each completed entry (Section IV-E5).
-        if tpmj && set_idx % 256 == 0 {
+        if tpmj && self.is_sample_set(set_idx) {
             if let Some(&first) = entry.targets.first() {
                 let key = Self::hash(entry.trigger) ^ (first.0 << 1);
                 self.sampler.observe(key, pc_hash);
@@ -419,17 +427,28 @@ impl StreamStore {
             // Filtered indexing: no index change; entries whose set left
             // the partition are simply dropped.
             self.size = size;
+            let (stride, _) = self.geometry(size);
+            let cap = self.entries_cap(size);
             for (i, set) in self.sets.iter_mut().enumerate() {
-                let (stride, _) = if self.cfg.hybrid && size == PartitionSize::Quarter {
-                    (1u8, 0)
-                } else {
-                    (size.stride_log2(), 0)
-                };
                 let allocated = i & ((1usize << stride) - 1) == 0;
                 if !allocated {
                     report.dropped_entries +=
                         set.slots.iter().filter(|s| s.is_some()).count();
                     set.slots.clear();
+                    set.etr = None;
+                } else if set.slots.len() > cap {
+                    // Fewer ways at the new size (hybrid Quarter):
+                    // slots beyond the cap are unreachable by lookup,
+                    // so evict them rather than leaving phantom
+                    // residents inflating valid_entries()/valid_blocks().
+                    report.dropped_entries +=
+                        set.slots[cap..].iter().filter(|s| s.is_some()).count();
+                    set.slots.truncate(cap);
+                    set.etr = None; // sized for the old ways; rebuilt lazily
+                } else if set.slots.len() < cap {
+                    // More ways: ETR state sized for the smaller
+                    // geometry would be indexed out of bounds once the
+                    // set refills, so rebuild it lazily too.
                     set.etr = None;
                 }
             }
@@ -723,6 +742,73 @@ mod tests {
         }
         let rate = s.alias_conflicts() as f64 / 20_000.0;
         assert!(rate < 0.15, "alias rate {rate} too high");
+    }
+
+    #[test]
+    fn exactly_64_sample_sets_at_default_geometry() {
+        let s = store(StreamlineConfig::default());
+        let sampled = (0..2048).filter(|&i| s.is_sample_set(i)).count();
+        assert_eq!(sampled, 64, "paper Section IV-E4: 64 sample sets");
+        // Sample sets must lie inside the SamplesOnly allocation so the
+        // predictor keeps training even at the smallest partition.
+        for i in 0..2048 {
+            if s.is_sample_set(i) {
+                assert!(
+                    s.allocated_at(i, PartitionSize::SamplesOnly),
+                    "sample set {i} outside the SamplesOnly allocation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_shrink_trims_unreachable_slots() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.hybrid = true;
+        cfg.tpmj = true;
+        let mut s = store(cfg);
+        for t in 0..20_000u64 {
+            s.insert(entry(t * 97, t), 1);
+        }
+        let before = s.valid_entries();
+        // Hybrid Quarter halves the ways: surviving sets keep only the
+        // slots a lookup can still reach.
+        let r = s.set_size(PartitionSize::Quarter);
+        let after = s.valid_entries();
+        assert_eq!(
+            before - after,
+            r.dropped_entries,
+            "every evicted entry must be counted as dropped"
+        );
+        let cap = s.entries_cap(PartitionSize::Quarter);
+        assert!(
+            s.sets.iter().all(|set| set.slots.len() <= cap),
+            "no phantom slots beyond the new capacity"
+        );
+    }
+
+    #[test]
+    fn regrow_after_hybrid_shrink_keeps_etr_consistent() {
+        let mut cfg = StreamlineConfig::default();
+        cfg.hybrid = true;
+        cfg.tpmj = true;
+        cfg.llc_sets = 64; // small store so sets fill at every size
+        let mut s = store(cfg);
+        for t in 0..5_000u64 {
+            s.insert(entry(t * 97, t), 1);
+        }
+        s.set_size(PartitionSize::Quarter);
+        // Rebuild ETR state at the shrunken capacity...
+        for t in 0..5_000u64 {
+            s.insert(entry(t * 101, t), 1);
+        }
+        s.set_size(PartitionSize::Full);
+        // ...then inserts at the regrown capacity must not index the
+        // stale (smaller) ETR arrays.
+        for t in 0..20_000u64 {
+            s.insert(entry(t * 103, t), 1);
+        }
+        assert!(s.valid_entries() > 0);
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! Options: `--scale=test|small|full`, `--l1=none|stride|berti`,
 //! `--l2=none|ipcp|bingo|spp-ppf`,
 //! `--temporal=none|ideal|triage|triangel|triangel-ideal|streamline`,
-//! `--bandwidth=<factor>`.
+//! `--bandwidth=<factor>`, `--audit` (verify the run's counters against
+//! the conservation laws in `tpsim::audit`; always on in debug builds).
 
 use tpharness::baselines::{L1Kind, L2Kind, TemporalKind};
 use tpharness::experiment::{run_single, Experiment};
@@ -20,7 +21,7 @@ use tptrace::{workloads, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpcli <list|run|compare|export|inspect> [args] [--scale=..] [--l1=..] [--l2=..] [--temporal=..] [--bandwidth=..]"
+        "usage: tpcli <list|run|compare|export|inspect> [args] [--scale=..] [--l1=..] [--l2=..] [--temporal=..] [--bandwidth=..] [--audit]"
     );
     std::process::exit(2);
 }
@@ -31,6 +32,7 @@ struct Opts {
     l2: L2Kind,
     temporal: TemporalKind,
     bandwidth: f64,
+    audit: bool,
     positional: Vec<String>,
 }
 
@@ -41,6 +43,7 @@ fn parse_opts() -> Opts {
         l2: L2Kind::None,
         temporal: TemporalKind::None,
         bandwidth: 1.0,
+        audit: false,
         positional: Vec::new(),
     };
     for a in std::env::args().skip(1) {
@@ -78,6 +81,8 @@ fn parse_opts() -> Opts {
             };
         } else if let Some(v) = a.strip_prefix("--bandwidth=") {
             o.bandwidth = v.parse().unwrap_or_else(|_| usage());
+        } else if a == "--audit" {
+            o.audit = true;
         } else if a.starts_with("--") {
             usage();
         } else {
@@ -100,6 +105,18 @@ fn workload_or_exit(name: &str) -> tptrace::Workload {
         eprintln!("unknown workload {name:?}; run `tpcli list`");
         std::process::exit(1);
     })
+}
+
+fn audit_or_exit(o: &Opts, label: &str, r: &tpsim::SimReport) {
+    if !o.audit {
+        return;
+    }
+    if r.audit.passed() {
+        eprintln!("[{label}] {}", r.audit);
+    } else {
+        eprintln!("conservation-law audit failed for {label}:\n{}", r.audit);
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -128,6 +145,7 @@ fn main() {
             let name = o.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
             let w = workload_or_exit(name);
             let r = run_single(&w, &experiment(&o));
+            audit_or_exit(&o, name, &r);
             let c = &r.cores[0];
             println!("workload    : {name} ({})", o.scale);
             println!("ipc         : {:.4}", c.ipc());
@@ -142,6 +160,7 @@ fn main() {
             let w = workload_or_exit(name);
             let base = experiment(&o).temporal(TemporalKind::None);
             let b = run_single(&w, &base);
+            audit_or_exit(&o, "baseline", &b);
             let mut t = Table::new(
                 format!("{name} ({})", o.scale),
                 &["config", "ipc", "speedup", "coverage", "accuracy", "meta blocks"],
@@ -160,6 +179,7 @@ fn main() {
                 ("streamline", TemporalKind::Streamline),
             ] {
                 let r = run_single(&w, &base.clone().temporal(kind));
+                audit_or_exit(&o, label, &r);
                 let c = &r.cores[0];
                 t.row(&[
                     label.into(),

@@ -139,6 +139,7 @@ impl SweepJob {
 pub struct SweepRunner {
     workers: usize,
     seeds: SeedMode,
+    audit: bool,
     cache: Mutex<HashMap<String, SimReport>>,
 }
 
@@ -163,6 +164,7 @@ impl SweepRunner {
         SweepRunner {
             workers,
             seeds: SeedMode::Canonical,
+            audit: false,
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -183,6 +185,21 @@ impl SweepRunner {
     pub fn with_base_seed(mut self, base_seed: u64) -> Self {
         self.seeds = SeedMode::Derived(base_seed);
         self
+    }
+
+    /// Enables conservation-law auditing: every freshly simulated report
+    /// is checked against `tpsim::audit`'s invariants and a violation
+    /// aborts the sweep with the failing law named. Debug builds always
+    /// audit inside the engine; this flag is the release-mode gate
+    /// (surfaced as `--audit` in the tpbench binaries).
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Whether conservation-law auditing is enabled.
+    pub fn audits(&self) -> bool {
+        self.audit
     }
 
     /// The configured worker count.
@@ -213,7 +230,17 @@ impl SweepRunner {
             }
         }
 
-        let fresh = self.map(&pending, |_, (_, job)| job.run(self.seeds));
+        let fresh = self.map(&pending, |_, (key, job)| {
+            let report = job.run(self.seeds);
+            if self.audit {
+                assert!(
+                    report.audit.passed(),
+                    "conservation-law audit failed for {key}:\n{}",
+                    report.audit
+                );
+            }
+            report
+        });
 
         let mut cache = self.cache.lock().expect("sweep cache lock");
         for ((key, _), report) in pending.iter().zip(fresh) {

@@ -321,6 +321,17 @@ impl CacheLevel {
         self.valid.iter().filter(|&&v| v).count()
     }
 
+    /// Number of resident blocks still carrying the prefetched bit
+    /// (installed by a prefetch, not yet demand-touched). Captured at
+    /// stats reset as slack for the audit's prefetch-resolution law.
+    pub fn resident_prefetched(&self) -> u64 {
+        self.valid
+            .iter()
+            .zip(&self.prefetched)
+            .filter(|&(&v, &p)| v && p)
+            .count() as u64
+    }
+
     /// Access latency of this level.
     pub fn latency(&self) -> u64 {
         self.params.latency

@@ -103,11 +103,21 @@ impl Dram {
     }
 
     /// Services a writeback for `line` arriving at time `t`; returns the
-    /// completion time (no requester waits on it, but it occupies the
-    /// bank and bus).
+    /// completion time. No requester waits on it: the controller queues
+    /// writebacks and drains them in row-batched bursts, so a write
+    /// charges data-bus occupancy (the bandwidth the paper's Fig. 10c
+    /// sweeps depend on) but no per-write row activation against the
+    /// demand stream — interleaving each eviction's write into the bank
+    /// state would thrash every open row, which batching exists to
+    /// avoid.
     pub fn write(&mut self, t: u64, line: Line) -> u64 {
         self.stats.writes += 1;
-        self.access(t, line, false)
+        let (ch, _, _) = self.map(line);
+        let channel = &mut self.channels[ch];
+        let transfer_start = t.max(channel.bus_free);
+        let done = transfer_start + self.params.burst;
+        channel.bus_free = done;
+        done
     }
 
     fn access(&mut self, t: u64, line: Line, demand: bool) -> u64 {

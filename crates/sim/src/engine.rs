@@ -1,6 +1,7 @@
 //! The simulation engine: interleaves per-core traces by issue time,
 //! drives the hierarchy, and invokes prefetchers.
 
+use crate::audit::{self, AuditReport};
 use crate::config::SystemConfig;
 use crate::core_model::CoreTiming;
 use crate::hierarchy::{Hierarchy, PrefetchOrigin};
@@ -70,6 +71,8 @@ struct CoreSnapshot {
     temporal: TemporalStats,
     l1_prefetches: u64,
     l2_prefetches: u64,
+    temporal_pf_issued: u64,
+    temporal_pf_dropped: u64,
     origin: crate::hierarchy::OriginCounters,
     meta: crate::hierarchy::MetaTraffic,
 }
@@ -91,6 +94,10 @@ struct CoreRunState {
     temporal_snapshot: TemporalStats,
     l1_prefetches: u64,
     l2_prefetches: u64,
+    /// Temporal prefetches the hierarchy accepted / refused (duplicates,
+    /// backlog drops, per-event truncation) since warmup reset.
+    temporal_pf_issued: u64,
+    temporal_pf_dropped: u64,
     address_tag: u64,
 }
 
@@ -110,6 +117,9 @@ pub struct Engine {
     plans: Vec<CorePlan>,
     states: Vec<CoreRunState>,
     warmup_frac: f64,
+    /// Conservation-law violations collected while running (snapshot
+    /// monotonicity); merged with the final hierarchy audit in `report`.
+    audit: AuditReport,
 }
 
 impl Engine {
@@ -138,6 +148,8 @@ impl Engine {
                 temporal_snapshot: TemporalStats::default(),
                 l1_prefetches: 0,
                 l2_prefetches: 0,
+                temporal_pf_issued: 0,
+                temporal_pf_dropped: 0,
                 // Distinct high bits per core keep multiprogrammed
                 // address spaces disjoint, as in ChampSim mixes.
                 address_tag: (i as u64) << 52,
@@ -148,6 +160,7 @@ impl Engine {
             plans,
             states,
             warmup_frac: 0.2,
+            audit: AuditReport::default(),
         }
     }
 
@@ -301,10 +314,23 @@ impl Engine {
                     0
                 };
                 self.hierarchy.apply_meta_charges(core, &ctx, dedicated);
-                for l in lines.into_iter().take(MAX_PREFETCHES_PER_EVENT) {
-                    self.hierarchy
-                        .prefetch_into_l2_temporal(core, l, issue + delay);
+                let mut issued = 0u64;
+                let mut dropped = 0u64;
+                for (i, l) in lines.into_iter().enumerate() {
+                    if i >= MAX_PREFETCHES_PER_EVENT {
+                        dropped += 1; // queue truncation
+                        continue;
+                    }
+                    match self
+                        .hierarchy
+                        .prefetch_into_l2_temporal(core, l, issue + delay)
+                    {
+                        Some(_) => issued += 1,
+                        None => dropped += 1, // duplicate or backlog drop
+                    }
                 }
+                self.states[core].temporal_pf_issued += issued;
+                self.states[core].temporal_pf_dropped += dropped;
                 // Partition changes (dynamic repartitioning).
                 let spec = self.plans[core].temporal.as_ref().expect("checked").partition();
                 if self.hierarchy.partition(core) != spec {
@@ -353,36 +379,69 @@ impl Engine {
             s.measure_from_processed = s.processed;
             s.l1_prefetches = 0;
             s.l2_prefetches = 0;
+            s.temporal_pf_issued = 0;
+            s.temporal_pf_dropped = 0;
             if let Some(tp) = self.plans[c].temporal.as_ref() {
                 s.temporal_snapshot = tp.stats();
             }
         }
     }
 
-    /// Freezes a completed core's measured numbers.
+    /// Freezes a completed core's measured numbers. Counters are
+    /// checked for monotonicity against their warmup baselines before
+    /// differencing (a regressing counter would underflow the diff);
+    /// any regression is recorded as an audit violation and the
+    /// offending diff clamped to zero.
     fn take_snapshot(&mut self, core: usize) {
         let s = &self.states[core];
-        let mut temporal = self.plans[core]
-            .temporal
-            .as_ref()
-            .map(|tp| tp.stats() - s.temporal_snapshot)
-            .unwrap_or_default();
+        let mut mono = AuditReport::default();
+        let mut temporal = match self.plans[core].temporal.as_ref() {
+            Some(tp) => {
+                let now = tp.stats();
+                mono.merge(audit::check_temporal_monotonic(
+                    core,
+                    &s.temporal_snapshot,
+                    &now,
+                ));
+                if mono.passed() {
+                    now - s.temporal_snapshot
+                } else {
+                    TemporalStats::default()
+                }
+            }
+            None => TemporalStats::default(),
+        };
+        mono.require_le(
+            "snapshot-monotonicity",
+            format!("core{core}.instructions"),
+            s.measure_from_instr,
+            s.timing.instructions(),
+        );
+        mono.require_le(
+            "snapshot-monotonicity",
+            format!("core{core}.cycles"),
+            s.measure_from_cycles,
+            s.timing.cycles(),
+        );
         let mt = self.hierarchy.meta_traffic(core);
         temporal.meta_reads = mt.reads;
         temporal.meta_writes = mt.writes;
         temporal.rearranged_blocks = mt.rearranged;
         let snap = CoreSnapshot {
-            instructions: s.timing.instructions() - s.measure_from_instr,
-            cycles: s.timing.cycles() - s.measure_from_cycles,
+            instructions: s.timing.instructions().saturating_sub(s.measure_from_instr),
+            cycles: s.timing.cycles().saturating_sub(s.measure_from_cycles),
             l1d: self.hierarchy.l1d_stats(core),
             l2: self.hierarchy.l2_stats(core),
             temporal,
             l1_prefetches: s.l1_prefetches,
             l2_prefetches: s.l2_prefetches,
+            temporal_pf_issued: s.temporal_pf_issued,
+            temporal_pf_dropped: s.temporal_pf_dropped,
             origin: self.hierarchy.origin_counters(core),
             meta: mt,
         };
         self.states[core].snapshot = Some(snap);
+        self.audit.merge(mono);
     }
 
     fn report(mut self) -> SimReport {
@@ -406,16 +465,33 @@ impl Engine {
                 temporal: snap.temporal,
                 l1_prefetches: snap.l1_prefetches,
                 l2_prefetches: snap.l2_prefetches,
+                temporal_pf_issued: snap.temporal_pf_issued,
+                temporal_pf_dropped: snap.temporal_pf_dropped,
                 l2_fills_by_origin: snap.origin.fills,
                 l2_useful_by_origin: snap.origin.useful,
                 l2_useless_by_origin: snap.origin.useless,
             });
         }
-        SimReport {
+        let mut audit = std::mem::take(&mut self.audit);
+        audit.merge(audit::check_hierarchy(&self.hierarchy.audit_snapshot()));
+        for (i, c) in cores.iter().enumerate() {
+            audit.merge(audit::check_core_report(i, c));
+        }
+        let report = SimReport {
             cores,
             llc: self.hierarchy.llc_stats(),
             dram: self.hierarchy.dram_stats(),
-        }
+            audit,
+        };
+        // Every debug run (including the whole test suite) enforces the
+        // conservation laws; release runs opt in via SweepRunner or the
+        // binaries' --audit flag.
+        debug_assert!(
+            report.audit.passed(),
+            "conservation-law audit failed:\n{}",
+            report.audit
+        );
+        report
     }
 }
 

@@ -1,6 +1,7 @@
 //! The memory hierarchy: per-core L1D/L2, shared LLC, DRAM, prefetch
 //! insertion paths, metadata-traffic charging, and LLC partitioning.
 
+use crate::audit;
 use crate::cache::{CacheLevel, LookupResult};
 use crate::config::SystemConfig;
 use crate::dram::Dram;
@@ -108,6 +109,33 @@ struct CoreCaches {
     /// Sampled LLC accesses awaiting delivery to the temporal
     /// prefetcher's data-utility model (1-in-32 sets).
     llc_samples: Vec<Line>,
+    /// Dirty L1 victims written back into the L2 (flow counter paired
+    /// with `l1d.stats().writebacks` by the audit).
+    flow_l1_writebacks: u64,
+    /// Dirty L2 victims written back into the LLC.
+    flow_l2_writebacks: u64,
+    /// Prefetched blocks resident in each level at the last stats reset
+    /// (slack for the audit's resolution inequalities).
+    l1_prefetched_at_reset: u64,
+    l2_prefetched_at_reset: u64,
+    /// Sidecar origin population at the last stats reset.
+    origin_at_reset: [u64; 3],
+}
+
+/// Hierarchy-wide flow counters the audit reconciles against the cache
+/// and DRAM statistics. Reset together with the stats at warmup end.
+#[derive(Clone, Copy, Debug, Default)]
+struct GlobalFlows {
+    /// Dirty LLC victims written back to DRAM on the fill path.
+    llc_writebacks: u64,
+    /// Dirty blocks displaced by metadata-way reservations (counted in
+    /// `llc.writebacks` but drained lazily, not via `dram.write`).
+    partition_dirty: u64,
+    /// Token DRAM writes charged for reservation displacements.
+    partition_token_writes: u64,
+    /// Prefetch reads dropped at a saturated DRAM bank after counting
+    /// an LLC miss.
+    dropped_prefetches: u64,
 }
 
 /// The full memory hierarchy shared by all cores.
@@ -117,6 +145,9 @@ pub struct Hierarchy {
     llc: CacheLevel,
     dram: Dram,
     feedback: Vec<FeedbackEvent>,
+    flows: GlobalFlows,
+    /// Prefetched blocks resident in the LLC at the last stats reset.
+    llc_prefetched_at_reset: u64,
 }
 
 impl Hierarchy {
@@ -133,6 +164,11 @@ impl Hierarchy {
                 meta_traffic: MetaTraffic::default(),
                 partition: PartitionSpec::None,
                 llc_samples: Vec::new(),
+                flow_l1_writebacks: 0,
+                flow_l2_writebacks: 0,
+                l1_prefetched_at_reset: 0,
+                l2_prefetched_at_reset: 0,
+                origin_at_reset: [0; 3],
             })
             .collect();
         let mut llc = CacheLevel::new(config.llc);
@@ -142,6 +178,8 @@ impl Hierarchy {
             dram: Dram::new(config.dram),
             cores,
             feedback: Vec::new(),
+            flows: GlobalFlows::default(),
+            llc_prefetched_at_reset: 0,
             config,
         }
     }
@@ -192,15 +230,64 @@ impl Hierarchy {
     }
 
     /// Resets all statistics at the end of warmup (state preserved).
+    ///
+    /// Cache contents survive the reset, so blocks prefetched before it
+    /// can still resolve as useful/useless afterwards; the audit needs
+    /// the resident-prefetched population at this instant as slack for
+    /// its resolution inequalities.
     pub fn reset_stats(&mut self) {
         for c in &mut self.cores {
             c.l1d.reset_stats();
             c.l2.reset_stats();
             c.origin_counters = OriginCounters::default();
             c.meta_traffic = MetaTraffic::default();
+            c.flow_l1_writebacks = 0;
+            c.flow_l2_writebacks = 0;
+            c.l1_prefetched_at_reset = c.l1d.resident_prefetched();
+            c.l2_prefetched_at_reset = c.l2.resident_prefetched();
+            c.origin_at_reset = [0; 3];
+            for origin in c.l2_origin.values() {
+                c.origin_at_reset[origin.idx()] += 1;
+            }
         }
         self.llc.reset_stats();
+        self.llc_prefetched_at_reset = self.llc.resident_prefetched();
         self.dram.reset_stats();
+        self.flows = GlobalFlows::default();
+    }
+
+    /// Captures a plain-data snapshot of every counter the
+    /// conservation-law audit reconciles. See [`crate::audit`].
+    pub fn audit_snapshot(&self) -> audit::HierarchySnapshot {
+        audit::HierarchySnapshot {
+            cores: self
+                .cores
+                .iter()
+                .map(|c| audit::CoreFlows {
+                    l1d: audit::LevelAudit {
+                        stats: c.l1d.stats(),
+                        prefetched_at_reset: c.l1_prefetched_at_reset,
+                    },
+                    l2: audit::LevelAudit {
+                        stats: c.l2.stats(),
+                        prefetched_at_reset: c.l2_prefetched_at_reset,
+                    },
+                    origin: c.origin_counters,
+                    origin_at_reset: c.origin_at_reset,
+                    l1_writebacks_to_l2: c.flow_l1_writebacks,
+                    l2_writebacks_to_llc: c.flow_l2_writebacks,
+                })
+                .collect(),
+            llc: audit::LevelAudit {
+                stats: self.llc.stats(),
+                prefetched_at_reset: self.llc_prefetched_at_reset,
+            },
+            dram: self.dram.stats(),
+            llc_writebacks_to_dram: self.flows.llc_writebacks,
+            partition_dirty_evictions: self.flows.partition_dirty,
+            partition_token_writes: self.flows.partition_token_writes,
+            dropped_prefetches: self.flows.dropped_prefetches,
+        }
     }
 
     /// Services a demand access from `core` to `line` at time `t`.
@@ -287,17 +374,32 @@ impl Hierarchy {
                         core,
                         cc,
                         &mut self.llc,
+                        &mut self.dram,
+                        &mut self.flows,
                         &mut self.feedback,
                         evicted,
                         dirty,
                         unused_prefetch,
+                        complete,
                     );
                 }
             }
         }
         let cc = &mut self.cores[core];
         cc.l1d.mshr.register(complete);
-        cc.l1d.fill(line, is_write, false);
+        if let Some((evicted, dirty, _)) = cc.l1d.fill(line, is_write, false) {
+            Self::handle_l1_eviction(
+                core,
+                cc,
+                &mut self.llc,
+                &mut self.dram,
+                &mut self.flows,
+                &mut self.feedback,
+                evicted,
+                dirty,
+                complete,
+            );
+        }
         DemandOutcome {
             complete,
             l1_hit: false,
@@ -307,14 +409,50 @@ impl Hierarchy {
         }
     }
 
+    /// Retires an L1D victim: drops its in-flight record and, when
+    /// dirty, writes it back into the L2 (writeback-allocate, as
+    /// ChampSim models it). A victim the writeback displaces from the
+    /// L2 continues down the hierarchy through
+    /// [`Hierarchy::handle_l2_eviction`].
+    #[allow(clippy::too_many_arguments)]
+    fn handle_l1_eviction(
+        core: usize,
+        cc: &mut CoreCaches,
+        llc: &mut CacheLevel,
+        dram: &mut Dram,
+        flows: &mut GlobalFlows,
+        feedback: &mut Vec<FeedbackEvent>,
+        evicted: Line,
+        dirty: bool,
+        t: u64,
+    ) {
+        cc.l1_inflight.remove(&evicted);
+        if !dirty {
+            return;
+        }
+        cc.flow_l1_writebacks += 1;
+        if let Some((victim, vdirty, vunused)) = cc.l2.fill(evicted, true, false) {
+            Self::handle_l2_eviction(
+                core, cc, llc, dram, flows, feedback, victim, vdirty, vunused, t,
+            );
+        }
+    }
+
+    /// Retires an L2 victim: origin accounting and feedback, then the
+    /// writeback into the LLC when dirty — whose own dirty victim, if
+    /// any, is written to DRAM.
+    #[allow(clippy::too_many_arguments)]
     fn handle_l2_eviction(
         core: usize,
         cc: &mut CoreCaches,
         llc: &mut CacheLevel,
+        dram: &mut Dram,
+        flows: &mut GlobalFlows,
         feedback: &mut Vec<FeedbackEvent>,
         evicted: Line,
         dirty: bool,
         unused_prefetch: bool,
+        t: u64,
     ) {
         cc.l2_inflight.remove(&evicted);
         if unused_prefetch {
@@ -334,7 +472,13 @@ impl Hierarchy {
         }
         if dirty {
             // Writeback to LLC: mark dirty there (refill path).
-            llc.fill(evicted, true, false);
+            cc.flow_l2_writebacks += 1;
+            if let Some((victim, vdirty, _)) = llc.fill(evicted, true, false) {
+                if vdirty {
+                    flows.llc_writebacks += 1;
+                    dram.write(t, victim);
+                }
+            }
         }
     }
 
@@ -359,6 +503,10 @@ impl Hierarchy {
                 let t1 = self.llc.mshr.admit(t0 + self.llc.latency());
                 if is_prefetch && self.dram.queue_delay(t1, line) > Self::PREFETCH_DROP_BACKLOG
                 {
+                    // The LLC miss is already counted, but no DRAM read
+                    // happens: record the drop so the audit's read
+                    // conservation law still balances.
+                    self.flows.dropped_prefetches += 1;
                     return None;
                 }
                 let complete = if is_prefetch {
@@ -369,6 +517,7 @@ impl Hierarchy {
                 self.llc.mshr.register(complete);
                 if let Some((evicted, dirty, _)) = self.llc.fill(line, false, is_prefetch) {
                     if dirty {
+                        self.flows.llc_writebacks += 1;
                         self.dram.write(complete, evicted);
                     }
                 }
@@ -385,7 +534,19 @@ impl Hierarchy {
         }
         let fill = self.prefetch_into_l2_inner(core, line, t, PrefetchOrigin::L1)?;
         let cc = &mut self.cores[core];
-        cc.l1d.fill(line, false, true);
+        if let Some((evicted, dirty, _)) = cc.l1d.fill(line, false, true) {
+            Self::handle_l1_eviction(
+                core,
+                cc,
+                &mut self.llc,
+                &mut self.dram,
+                &mut self.flows,
+                &mut self.feedback,
+                evicted,
+                dirty,
+                fill,
+            );
+        }
         cc.l1_inflight.insert(line, fill);
         Some(fill)
     }
@@ -438,10 +599,13 @@ impl Hierarchy {
                 core,
                 cc,
                 &mut self.llc,
+                &mut self.dram,
+                &mut self.flows,
                 &mut self.feedback,
                 evicted,
                 dirty,
                 unused_prefetch,
+                fill,
             );
         }
         cc.origin_counters.fills[origin.idx()] += 1;
@@ -527,7 +691,10 @@ impl Hierarchy {
         // would fabricate a huge queueing penalty, so we count the
         // traffic without serialising the timeline behind it.
         let _ = t;
-        for _ in 0..dirty_evictions.min(4) {
+        self.flows.partition_dirty += dirty_evictions;
+        let tokens = dirty_evictions.min(4);
+        self.flows.partition_token_writes += tokens;
+        for _ in 0..tokens {
             // Token charge: keep a trace of bank pressure without the
             // burst (at most a handful of writes hit the queues now).
             self.dram.write(t, Line(0));
@@ -599,9 +766,11 @@ mod tests {
     fn late_prefetch_shortens_latency_but_counts() {
         let mut h = hierarchy();
         let fill = h.prefetch_into_l2_temporal(0, Line(555), 0).unwrap();
-        // Demand arrives long before the fill completes.
+        // Demand arrives long before the fill completes: it hits on the
+        // in-flight block and is pulled up to the fill time, rather than
+        // paying a full miss.
         let out = h.demand_access(0, Line(555), false, 1);
-        assert!(out.complete >= fill.min(out.complete));
+        assert_eq!(out.complete, fill, "demand waits exactly for the fill");
         assert_eq!(h.l2_stats(0).late_prefetches, 1);
     }
 
@@ -659,6 +828,58 @@ mod tests {
         assert_eq!(h.reserved_metadata_bytes(), expected);
         h.apply_partition(0, PartitionSpec::None, 0);
         assert_eq!(h.reserved_metadata_bytes(), 2048 * 4 * 64);
+    }
+
+    #[test]
+    fn dirty_l1_victim_is_written_back_to_l2() {
+        let mut h = hierarchy();
+        // Store dirties Line(0) in the L1, then 12 conflicting loads
+        // (the L1 is 12-way, 64 sets) evict it.
+        let mut t = h.demand_access(0, Line(0), true, 0).complete + 1;
+        for i in 1..=12u64 {
+            t = h.demand_access(0, Line(i * 64), false, t).complete + 1;
+        }
+        let snap = h.audit_snapshot();
+        assert_eq!(snap.cores[0].l1d.stats.writebacks, 1);
+        assert_eq!(
+            snap.cores[0].l1_writebacks_to_l2, 1,
+            "dirty L1 victim must reach the L2"
+        );
+        assert!(audit::check_hierarchy(&snap).passed());
+    }
+
+    #[test]
+    fn store_stream_drains_writebacks_to_dram() {
+        let mut h = hierarchy();
+        // Stores over a 4 MiB working set (2x the LLC): every level
+        // overflows, so dirty victims must cascade all the way to DRAM.
+        let mut t = 0;
+        for i in 0..65_536u64 {
+            t = h.demand_access(0, Line(i), true, t).complete + 1;
+        }
+        let snap = h.audit_snapshot();
+        assert!(snap.cores[0].l1d.stats.writebacks > 0);
+        assert!(snap.cores[0].l2.stats.writebacks > 0);
+        assert!(snap.llc.stats.writebacks > 0);
+        assert!(snap.dram.writes > 0, "dirty LLC victims must reach DRAM");
+        let report = audit::check_hierarchy(&snap);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn audit_snapshot_balances_after_mixed_traffic() {
+        let mut h = hierarchy();
+        let mut t = 0;
+        for i in 0..4096u64 {
+            // Mix loads, stores, and temporal prefetches.
+            let line = Line((i * 37) % 8192);
+            t = h.demand_access(0, line, i % 3 == 0, t).complete + 1;
+            if i % 5 == 0 {
+                h.prefetch_into_l2_temporal(0, Line(i + 100_000), t);
+            }
+        }
+        let report = audit::check_hierarchy(&h.audit_snapshot());
+        assert!(report.passed(), "{report}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! println!("IPC = {:.3}", report.cores[0].ipc());
 //! ```
 
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod core_model;
@@ -42,6 +43,7 @@ pub mod prefetch;
 pub mod shadow;
 pub mod stats;
 
+pub use audit::{AuditReport, Violation};
 pub use config::{CacheParams, CoreParams, DramParams, SystemConfig};
 pub use engine::{CorePlan, Engine};
 pub use hierarchy::{Hierarchy, PrefetchOrigin};

@@ -1,5 +1,6 @@
 //! Simulation statistics: per-cache, per-core, and whole-run reports.
 
+use crate::audit::AuditReport;
 use std::fmt;
 use std::ops::Sub;
 
@@ -184,6 +185,14 @@ pub struct CoreReport {
     pub l1_prefetches: u64,
     /// Prefetches issued into L2 by the regular L2 prefetcher.
     pub l2_prefetches: u64,
+    /// Temporal prefetches accepted by the hierarchy (each fills the L2
+    /// exactly once; the audit cross-checks this against
+    /// `l2_fills_by_origin[2]`).
+    pub temporal_pf_issued: u64,
+    /// Temporal prefetches the hierarchy refused: duplicates of resident
+    /// or in-flight lines, DRAM-backlog drops, and per-event queue
+    /// truncation.
+    pub temporal_pf_dropped: u64,
     /// L2 prefetch fills by origin: [L1, L2-regular, temporal].
     pub l2_fills_by_origin: [u64; 3],
     /// First demand touches of prefetched L2 blocks, by origin.
@@ -270,6 +279,9 @@ pub struct SimReport {
     pub llc: CacheStats,
     /// DRAM statistics.
     pub dram: DramStats,
+    /// Conservation-law audit of the run's counters (see
+    /// [`crate::audit`]). Empty/passing for a default report.
+    pub audit: AuditReport,
 }
 
 impl SimReport {
@@ -327,7 +339,11 @@ impl fmt::Display for SimReport {
             f,
             "llc: {}/{} hits, dram: {} rd / {} wr",
             self.llc.hits, self.llc.accesses, self.dram.reads, self.dram.writes
-        )
+        )?;
+        if !self.audit.passed() {
+            writeln!(f, "{}", self.audit)?;
+        }
+        Ok(())
     }
 }
 

@@ -4,13 +4,17 @@
 # Jobs can also be set via TPSIM_JOBS. Results are bit-identical for
 # any worker count: simulations fan out through the deterministic
 # sweep runner, which reassembles reports in canonical job order.
+# Set AUDIT=1 to check every simulation against the conservation laws
+# in tpsim::audit (debug builds always check; this enables the same
+# checks in these release runs, aborting on the first violation).
 set -e
 SCALE=${1:-small}
 JOBS=${2:-${TPSIM_JOBS:-$(nproc 2>/dev/null || echo 1)}}
+AUDIT_FLAG=${AUDIT:+--audit}
 mkdir -p results
 run() {
-  echo "== $1 ($2, jobs=$JOBS) =="
-  cargo run --release -q -p tpbench --bin "$1" -- --scale="$2" --jobs="$JOBS" $3 \
+  echo "== $1 ($2, jobs=$JOBS${AUDIT_FLAG:+, audit}) =="
+  cargo run --release -q -p tpbench --bin "$1" -- --scale="$2" --jobs="$JOBS" $AUDIT_FLAG $3 \
     2>results/"$1".log | tee results/"$1".txt
 }
 run table1_partitioning "$SCALE"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 verification plus an audited quick sweep.
+#
+# 1. Release build + the full test suite (the audit's conservation laws
+#    are also debug-asserted inside every test-mode simulation).
+# 2. A release-mode sweep over the memory-intensive pool at test scale
+#    with --audit, so the release build's counters are checked against
+#    the same laws the debug assertions enforce.
+#
+# Usage: ./scripts/check.sh   (from the repo root)
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== audited quick sweep (release, test scale) =="
+cargo run --release -q -p tpbench --bin fig09_single_core -- \
+  --scale=test --audit >/dev/null
+for w in spec06.mcf spec17.xalancbmk gap.bfs; do
+  cargo run --release -q -p tpharness --bin tpcli -- \
+    compare "$w" --scale=test --audit >/dev/null
+done
+echo "check.sh: all gates passed"
