@@ -24,7 +24,7 @@ fn main() {
     let mut win_rows = Vec::new();
     for cores in [2usize, 4, 8] {
         let n_mixes = if quick { 4 } else { if cores == 8 { 8 } else { 12 } };
-        let mixes = MixGenerator::new(0xF16_0A + cores as u64).mixes(cores, n_mixes);
+        let mixes = MixGenerator::new(0xF1_60A + cores as u64).mixes(cores, n_mixes);
         let exps = [
             base.clone(),
             base.clone().temporal(TemporalKind::Triangel),

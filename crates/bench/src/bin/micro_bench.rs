@@ -9,8 +9,16 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 use streamline_core::{align, StreamEntry, StreamStore, Streamline, StreamlineConfig};
-use tpsim::{L2EventKind, MetaCtx, TemporalEvent, TemporalPrefetcher};
+use tpbench::alloc_count::{self, CountingAlloc};
+use tpsim::{CorePlan, Engine, L2EventKind, MetaCtx, SystemConfig, TemporalEvent,
+    TemporalPrefetcher};
 use tptrace::record::{Line, Pc};
+use tptrace::{workloads, Scale, Suite, Trace, TraceBuilder};
+
+/// Every heap allocation in this binary goes through the counting shim,
+/// so the hot-path phases can report exact allocations per access.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Runs `op` repeatedly for ~`budget` and returns (iterations, ns/op).
 fn time_case(budget: Duration, mut op: impl FnMut()) -> (u64, f64) {
@@ -35,7 +43,191 @@ fn report(name: &str, budget: Duration, op: impl FnMut()) {
     println!("{name:32} {ns:>12.1} ns/op   ({iters} iters)");
 }
 
+/// One end-to-end hot-loop measurement: a pinned workload driven
+/// through `Engine::run` repeatedly for a fixed wall-clock budget,
+/// reporting simulated-access throughput and exact heap-allocation
+/// counts from the global counting allocator.
+struct PhaseResult {
+    name: &'static str,
+    runs: u32,
+    accesses_per_run: usize,
+    ns_per_access: f64,
+    accesses_per_sec: f64,
+    allocs_per_access: f64,
+    alloc_bytes_per_access: f64,
+}
+
+/// Builds a fresh plan for one benchmark run of `trace` with a
+/// Streamline temporal prefetcher attached (the configuration whose
+/// demand path the hot-path work targets).
+fn streamline_plan(trace: &Trace) -> CorePlan {
+    CorePlan::bare(trace.clone()).with_temporal(Box::new(Streamline::new()))
+}
+
+/// Measures one hot-path phase as the fastest of three measurement
+/// windows (each `budget / 3` of wall clock). The simulation itself is
+/// deterministic, so run-to-run spread is pure interference from the
+/// host (scheduler, hypervisor steal); the minimum-time window is the
+/// standard estimator for the true cost under additive noise.
+/// Allocation counts are deterministic per run and reported from the
+/// fastest window.
+///
+/// The trace is generated once outside the timed region; each run
+/// re-creates the engine (hierarchy + prefetcher setup is part of a
+/// simulation's real cost and is reported as-is).
+fn hotpath_phase(name: &'static str, trace: &Trace, budget: Duration) -> PhaseResult {
+    // One untimed warmup run (page-faults the trace, warms the branch
+    // predictors) so short budgets are not dominated by first-run cost.
+    black_box(
+        Engine::new(SystemConfig::single_core(), vec![streamline_plan(trace)]).run(),
+    );
+    let window = budget / 3;
+    let mut best: Option<PhaseResult> = None;
+    for _ in 0..3 {
+        let alloc0 = alloc_count::snapshot();
+        let start = Instant::now();
+        let mut runs = 0u32;
+        while start.elapsed() < window {
+            black_box(
+                Engine::new(SystemConfig::single_core(), vec![streamline_plan(trace)])
+                    .run(),
+            );
+            runs += 1;
+        }
+        let elapsed = start.elapsed();
+        let allocs = alloc_count::snapshot().since(alloc0);
+        let total_accesses = runs as f64 * trace.len() as f64;
+        let result = PhaseResult {
+            name,
+            runs,
+            accesses_per_run: trace.len(),
+            ns_per_access: elapsed.as_nanos() as f64 / total_accesses,
+            accesses_per_sec: total_accesses / elapsed.as_secs_f64(),
+            allocs_per_access: allocs.allocs as f64 / total_accesses,
+            alloc_bytes_per_access: allocs.bytes as f64 / total_accesses,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| result.ns_per_access < b.ns_per_access)
+        {
+            best = Some(result);
+        }
+    }
+    best.expect("three windows measured")
+}
+
+/// The pinned pointer-chase workload: `spec06.mcf` at test scale, the
+/// canonical temporal-prefetching target (dependent loads, large
+/// irregular footprint).
+fn pointer_chase_trace() -> Trace {
+    workloads::by_name("spec06.mcf")
+        .expect("registry workload")
+        .generate(Scale::Test)
+}
+
+/// The pinned store-heavy workload: stores sweeping 2x the LLC with a
+/// 1-in-3 load mix, so every level overflows and the writeback /
+/// eviction paths run on most accesses.
+fn store_heavy_trace() -> Trace {
+    let mut b = TraceBuilder::new("synthetic.store-flood", Suite::Spec06);
+    for i in 0..65_536u64 {
+        b.store(0x400_100, 0x10_0000 + i * tpsim::LINE_SIZE);
+        if i % 3 == 0 {
+            b.load(0x400_108, 0x10_0000 + (i / 5) * tpsim::LINE_SIZE);
+        }
+    }
+    b.finish()
+}
+
+/// Pre-rewrite reference numbers for the pinned phases: measured with
+/// this same harness and budget on the tree before the hot-path
+/// rewrite (HashMap sidecars, struct-of-arrays cache metadata,
+/// allocating feedback/sample drains, per-event prefetch `Vec`s), on
+/// the same host class. Embedded so the emitted `BENCH_hotpath.json`
+/// records the speedup alongside the current numbers.
+fn baseline(name: &str) -> Option<(f64, f64)> {
+    match name {
+        // (ns_per_access, allocs_per_access)
+        "pointer_chase" => Some((983.37, 8.4951)),
+        "store_heavy" => Some((856.60, 5.7077)),
+        _ => None,
+    }
+}
+
+/// Runs the hot-path phases and returns their results.
+fn run_hotpath(budget: Duration) -> Vec<PhaseResult> {
+    vec![
+        hotpath_phase("pointer_chase", &pointer_chase_trace(), budget),
+        hotpath_phase("store_heavy", &store_heavy_trace(), budget),
+    ]
+}
+
+/// Prints the hot-path results as the `BENCH_hotpath.json` document
+/// (hand-formatted; the build environment has no serde).
+fn print_hotpath_json(phases: &[PhaseResult]) {
+    println!("{{");
+    println!("  \"schema\": \"bench_hotpath.v1\",");
+    println!(
+        "  \"profile\": \"{}\",",
+        if cfg!(debug_assertions) { "debug" } else { "release" }
+    );
+    println!("  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        println!("    {{");
+        println!("      \"name\": \"{}\",", p.name);
+        println!("      \"runs\": {},", p.runs);
+        println!("      \"accesses_per_run\": {},", p.accesses_per_run);
+        println!("      \"ns_per_access\": {:.2},", p.ns_per_access);
+        println!("      \"accesses_per_sec\": {:.0},", p.accesses_per_sec);
+        println!("      \"allocs_per_access\": {:.4},", p.allocs_per_access);
+        let tail = if baseline(p.name).is_some() { "," } else { "" };
+        println!(
+            "      \"alloc_bytes_per_access\": {:.1}{tail}",
+            p.alloc_bytes_per_access
+        );
+        if let Some((base_ns, base_allocs)) = baseline(p.name) {
+            println!("      \"baseline_ns_per_access\": {base_ns:.2},");
+            println!("      \"baseline_allocs_per_access\": {base_allocs:.4},");
+            println!(
+                "      \"speedup_vs_baseline\": {:.3}",
+                base_ns / p.ns_per_access
+            );
+        }
+        println!("    }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}
+
+fn print_hotpath_table(phases: &[PhaseResult]) {
+    println!(
+        "{:24} {:>12} {:>14} {:>12} {:>14}",
+        "hot-path phase", "ns/access", "accesses/sec", "allocs/acc", "bytes/acc"
+    );
+    for p in phases {
+        println!(
+            "{:24} {:>12.1} {:>14.0} {:>12.4} {:>14.1}",
+            p.name, p.ns_per_access, p.accesses_per_sec, p.allocs_per_access,
+            p.alloc_bytes_per_access
+        );
+    }
+}
+
 fn main() {
+    // `--json` emits only the hot-path phases as the BENCH_hotpath.json
+    // document (the scripts/bench_hotpath.sh mode); the default mode
+    // prints every micro-case plus a human-readable hot-path table.
+    let json_only = std::env::args().any(|a| a == "--json");
+    let budget_ms: u64 = std::env::args()
+        .find_map(|a| a.strip_prefix("--budget-ms=").map(String::from))
+        .map(|v| v.parse().expect("--budget-ms wants an integer"))
+        .unwrap_or(2000);
+    if json_only {
+        print_hotpath_json(&run_hotpath(Duration::from_millis(budget_ms)));
+        return;
+    }
+
     let budget = Duration::from_millis(300);
     println!("{:32} {:>12}", "case", "time");
 
@@ -81,10 +273,12 @@ fn main() {
     {
         let mut pf = Streamline::new();
         let mut i = 0u64;
+        let mut out = Vec::new();
         report("on_event/streamline", budget, || {
             i += 1;
             let mut ctx = MetaCtx::new(i, 0.9);
-            black_box(pf.on_event(
+            out.clear();
+            pf.on_event(
                 &mut ctx,
                 TemporalEvent {
                     pc: Pc(0x400),
@@ -92,16 +286,20 @@ fn main() {
                     kind: L2EventKind::DemandMiss,
                     now: i,
                 },
-            ));
+                &mut out,
+            );
+            black_box(&out);
         });
     }
     {
         let mut pf = triangel::Triangel::new();
         let mut i = 0u64;
+        let mut out = Vec::new();
         report("on_event/triangel", budget, || {
             i += 1;
             let mut ctx = MetaCtx::new(i, 0.9);
-            black_box(pf.on_event(
+            out.clear();
+            pf.on_event(
                 &mut ctx,
                 TemporalEvent {
                     pc: Pc(0x400),
@@ -109,14 +307,14 @@ fn main() {
                     kind: L2EventKind::DemandMiss,
                     now: i,
                 },
-            ));
+                &mut out,
+            );
+            black_box(&out);
         });
     }
 
     // End-to-end simulator throughput on a small trace.
     {
-        use tpsim::{CorePlan, Engine, SystemConfig};
-        use tptrace::{workloads, Scale};
         let w = workloads::by_name("spec06.bzip2").unwrap();
         let trace = w.generate(Scale::Test);
         let accesses = trace.len();
@@ -133,4 +331,7 @@ fn main() {
             "simulator/bare"
         );
     }
+
+    println!();
+    print_hotpath_table(&run_hotpath(Duration::from_millis(budget_ms)));
 }

@@ -26,6 +26,8 @@
 //! Self-timed micro-benchmarks for the core data structures live in the
 //! `micro_bench` binary.
 
+pub mod alloc_count;
+
 use std::sync::OnceLock;
 use tpharness::baselines::{L1Kind, TemporalKind};
 use tpharness::experiment::Experiment;

@@ -22,6 +22,9 @@ pub struct Streamline {
     /// the new size before its hit counters mean anything).
     resize_cooldown: u8,
     stats: TemporalStats,
+    /// Successor scratch reused across every chase step of every event
+    /// (the demand path must not allocate).
+    succ_scratch: Vec<Line>,
 }
 
 impl Streamline {
@@ -44,6 +47,7 @@ impl Streamline {
             // the explicit grace period.
             resize_cooldown: 3,
             stats: TemporalStats::default(),
+            succ_scratch: Vec::new(),
             cfg,
         }
     }
@@ -87,7 +91,7 @@ impl Streamline {
 
     fn maybe_resize(&mut self, ctx: &mut MetaCtx) {
         self.events += 1;
-        if self.events % self.cfg.resize_epoch != 0 {
+        if !self.events.is_multiple_of(self.cfg.resize_epoch) {
             return;
         }
         if self.resize_cooldown > 0 {
@@ -241,7 +245,7 @@ impl TemporalPrefetcher for Streamline {
         "streamline"
     }
 
-    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent) -> Vec<Line> {
+    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent, out: &mut Vec<Line>) {
         let pc_hash = ev.pc.hash8();
 
         // --- Training: build the PC's stream; commit completed entries.
@@ -257,7 +261,9 @@ impl TemporalPrefetcher for Streamline {
             .degree_override
             .unwrap_or_else(|| self.tu.degree(ev.pc))
             .min(8);
-        let mut out: Vec<Line> = Vec::with_capacity(degree);
+        // One successor buffer serves every chase step (taken out of
+        // the struct so field borrows below stay disjoint).
+        let mut succ = std::mem::take(&mut self.succ_scratch);
         let mut cursor = ev.line;
         while out.len() < degree {
             // A buffer hit means the running access stream has already
@@ -265,24 +271,27 @@ impl TemporalPrefetcher for Streamline {
             // its predictions), so the remaining targets carry the
             // two-trigger context the paper credits for accuracy. A
             // fresh store fetch is unconfirmed — issue it cautiously.
-            let (succ, confirmed) = match self.tu.buffer_lookup(ev.pc, cursor) {
-                Some(s) => (s, true),
-                None => {
-                    // Locate via a standard tag check; a hit reads one
-                    // block that supplies the whole stream entry — the
-                    // stream format's traffic advantage. Misses cost
-                    // only the tag probe.
-                    self.stats.trigger_lookups += 1;
-                    match self.store.lookup(cursor, pc_hash) {
-                        Some(e) => {
-                            self.stats.trigger_hits += 1;
-                            ctx.read_block();
-                            let s = e.successors_of(cursor).to_vec();
-                            self.tu.buffer_insert(ev.pc, e);
-                            (s, false)
-                        }
-                        None => break,
+            succ.clear();
+            let confirmed = if self.tu.buffer_lookup_into(ev.pc, cursor, &mut succ) {
+                true
+            } else {
+                // Locate via a standard tag check; a hit reads one
+                // block that supplies the whole stream entry — the
+                // stream format's traffic advantage. Misses cost
+                // only the tag probe.
+                self.stats.trigger_lookups += 1;
+                match self.store.lookup(cursor, pc_hash) {
+                    Some(e) => {
+                        self.stats.trigger_hits += 1;
+                        ctx.read_block();
+                        succ.extend_from_slice(e.successors_of(cursor));
+                        // The only hit path that needs an owned
+                        // copy: the training unit's confirmation
+                        // buffer outlives the store borrow.
+                        self.tu.buffer_insert(ev.pc, e.clone());
+                        false
                     }
+                    None => break,
                 }
             };
             // Unconfirmed issue width scales with measured accuracy
@@ -301,7 +310,7 @@ impl TemporalPrefetcher for Streamline {
                 out.len() + fresh_budget.min(degree)
             };
             let mut advanced = false;
-            for t in succ {
+            for &t in &succ {
                 if t != ev.line && !out.contains(&t) {
                     out.push(t);
                     cursor = t;
@@ -315,10 +324,10 @@ impl TemporalPrefetcher for Streamline {
                 break;
             }
         }
+        self.succ_scratch = succ;
         self.stats.prefetches_issued += out.len() as u64;
 
         self.maybe_resize(ctx);
-        out
     }
 
     fn observe_llc(&mut self, line: Line) {
@@ -360,7 +369,8 @@ mod tests {
             .iter()
             .map(|&l| {
                 let mut ctx = MetaCtx::new(0, 0.9);
-                let r = s.on_event(&mut ctx, ev(pc, l));
+                let mut r = Vec::new();
+                s.on_event(&mut ctx, ev(pc, l), &mut r);
                 reads += ctx.reads() as u64;
                 writes += ctx.writes() as u64;
                 r
@@ -415,8 +425,10 @@ mod tests {
 
     #[test]
     fn half_size_filters_and_realignment_rescues() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.fixed_size = Some(PartitionSize::Half);
+        let mut cfg = StreamlineConfig {
+            fixed_size: Some(PartitionSize::Half),
+            ..Default::default()
+        };
         let mut s = Streamline::with_config(cfg);
         let seq: Vec<u64> = (0..512).map(|i| 40_000 + i * 11).collect();
         for _ in 0..3 {
@@ -438,8 +450,10 @@ mod tests {
 
     #[test]
     fn dynamic_partitioning_shrinks_when_data_needs_the_ways() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.resize_epoch = 2048;
+        let cfg = StreamlineConfig {
+            resize_epoch: 2048,
+            ..Default::default()
+        };
         let mut s = Streamline::with_config(cfg);
         // Data: a 14-deep per-set loop (needs >8 LLC ways to hit).
         // Metadata: interleaved never-repeating lines (worthless).
@@ -455,9 +469,9 @@ mod tests {
         }
         for &l in &lines {
             let mut ctx = MetaCtx::new(0, 0.0); // useless prefetches
-            s.on_event(&mut ctx, ev(3, l));
+            s.on_event(&mut ctx, ev(3, l), &mut Vec::new());
             // The engine forwards sampled LLC accesses; emulate it here.
-            if (l as usize & 2047) % 32 == 0 {
+            if (l as usize & 2047).is_multiple_of(32) {
                 s.observe_llc(Line(l));
             }
         }
@@ -470,14 +484,16 @@ mod tests {
 
     #[test]
     fn dynamic_partitioning_grows_with_accurate_metadata() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.resize_epoch = 2048;
+        let cfg = StreamlineConfig {
+            resize_epoch: 2048,
+            ..Default::default()
+        };
         let mut s = Streamline::with_config(cfg);
         let seq: Vec<u64> = (0..3000).map(|i| 100_000 + i * 7).collect();
         for _ in 0..4 {
             for &l in &seq {
                 let mut ctx = MetaCtx::new(0, 0.95);
-                s.on_event(&mut ctx, ev(4, l));
+                s.on_event(&mut ctx, ev(4, l), &mut Vec::new());
             }
         }
         assert_eq!(s.partition_size(), PartitionSize::Full);
@@ -485,8 +501,10 @@ mod tests {
 
     #[test]
     fn degree_override_caps_prefetches() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.degree_override = Some(2);
+        let cfg = StreamlineConfig {
+            degree_override: Some(2),
+            ..Default::default()
+        };
         let mut s = Streamline::with_config(cfg);
         let seq: Vec<u64> = (0..64).map(|i| 2000 + i).collect();
         drive(&mut s, 1, &seq);

@@ -79,6 +79,65 @@ fn size_rank(s: PartitionSize) -> usize {
     }
 }
 
+/// Selects the replacement victim among the first `cap` slots in place,
+/// with no candidate lists.
+///
+/// Semantics (pinned by the tpcheck property against the list-building
+/// reference model in this module's tests):
+///
+/// * Only `allowed` slots are eligible (placement + alias-group rules).
+/// * When `thrashing`, eligibility is first restricted to the probation
+///   tail — the last `max(cap/8, 1)` slots (TP-MIN behaviour: churn the
+///   probation slots, retain the resident majority); if no allowed slot
+///   lies there, the whole set is scanned instead.
+/// * With an ETR set (TP-Mockingjay), the victim has the farthest
+///   predicted reuse, overdue (negative) preferred on ties, and ties
+///   resolve to the *last* such slot (`Iterator::max_by_key`).
+/// * Without one, the victim is least-recently used, ties resolving to
+///   the *first* such slot (`Iterator::min_by_key`).
+///
+/// # Panics
+/// Panics if no slot in `0..cap` is allowed.
+fn select_victim(
+    cap: usize,
+    thrashing: bool,
+    etr: Option<&EtrSet>,
+    slots: &[Option<Slot>],
+    allowed: &dyn Fn(usize) -> bool,
+) -> usize {
+    let floor = if thrashing { cap - (cap / 8).max(1) } else { 0 };
+    let scan = |floor: usize| -> Option<usize> {
+        let mut best: Option<usize> = None;
+        match etr {
+            Some(e) => {
+                let key = |i: usize| {
+                    let v = e.etr_value(i);
+                    (v.unsigned_abs(), v < 0)
+                };
+                for i in (floor..cap).filter(|&i| allowed(i)) {
+                    // `>=`: last maximal wins, as with max_by_key.
+                    if best.is_none_or(|b| key(i) >= key(b)) {
+                        best = Some(i);
+                    }
+                }
+            }
+            None => {
+                let key = |i: usize| slots[i].as_ref().map(|s| s.lru).unwrap_or(0);
+                for i in (floor..cap).filter(|&i| allowed(i)) {
+                    // `<`: first minimal wins, as with min_by_key.
+                    if best.is_none_or(|b| key(i) < key(b)) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    };
+    scan(floor)
+        .or_else(|| if floor > 0 { scan(0) } else { None })
+        .expect("candidates nonempty")
+}
+
 /// All sizes, smallest to largest.
 pub const ALL_SIZES: [PartitionSize; 4] = [
     PartitionSize::SamplesOnly,
@@ -198,7 +257,7 @@ impl StreamStore {
     /// Section IV-E4). The stride is derived from the set count so the
     /// sample population stays 64 regardless of LLC geometry.
     pub fn is_sample_set(&self, set_idx: usize) -> bool {
-        set_idx % (self.cfg.llc_sets / 64).max(1) == 0
+        set_idx.is_multiple_of((self.cfg.llc_sets / 64).max(1))
     }
 
     /// Inserts a completed stream entry.
@@ -241,14 +300,18 @@ impl StreamStore {
         }
 
         // Count redundant correlations already present in this set.
-        let new_pairs = entry.pairs();
+        // Entries hold ~4 targets, so the nested pair walk beats
+        // materialising pair Vecs (the old `pairs()` allocation was the
+        // single hottest allocation site on the insert path).
         let mut redundant_pairs = 0;
         for slot in set.slots[..cap].iter().flatten() {
             if slot.entry.trigger == entry.trigger {
                 continue; // same trigger: an overwrite, handled below
             }
-            let existing = slot.entry.pairs();
-            redundant_pairs += new_pairs.iter().filter(|p| existing.contains(p)).count();
+            redundant_pairs += entry
+                .pair_iter()
+                .filter(|p| slot.entry.pair_iter().any(|q| q == *p))
+                .count();
         }
 
         // Placement: overwrite same trigger; else honour partial-tag
@@ -307,42 +370,14 @@ impl StreamStore {
         }
         let thrashing = tpmj && set.inserts_since_hit as usize > cap;
         let victim = victim.unwrap_or_else(|| {
-            let all: Vec<usize> = (0..cap)
-                .filter(|&i| placement_ok(i) && group_ok(i))
-                .collect();
-            let candidates: Vec<usize> = if thrashing {
-                // Thrash protection (TP-MIN behaviour): churn only the
-                // last probation slots; retain the resident majority.
-                let probation = (cap / 8).max(1);
-                let p: Vec<usize> =
-                    all.iter().copied().filter(|&i| i >= cap - probation).collect();
-                if p.is_empty() {
-                    all
-                } else {
-                    p
-                }
+            let etr = if tpmj {
+                Some(set.etr.as_ref().expect("etr initialised"))
             } else {
-                all
+                None
             };
-            if tpmj {
-                // ETR victim among allowed slots: farthest predicted
-                // reuse, overdue (negative) preferred on ties.
-                let e = set.etr.as_ref().expect("etr initialised");
-                candidates
-                    .iter()
-                    .copied()
-                    .max_by_key(|&i| {
-                        let v = e.etr_value(i);
-                        (v.unsigned_abs(), v < 0)
-                    })
-                    .expect("candidates nonempty")
-            } else {
-                candidates
-                    .iter()
-                    .copied()
-                    .min_by_key(|&i| set.slots[i].as_ref().map(|s| s.lru).unwrap_or(0))
-                    .expect("candidates nonempty")
-            }
+            select_victim(cap, thrashing, etr, &set.slots, &|i| {
+                placement_ok(i) && group_ok(i)
+            })
         });
 
         let redundant = set.slots[victim]
@@ -363,7 +398,11 @@ impl StreamStore {
 
     /// Looks up the stream entry whose trigger is `trigger`, refreshing
     /// replacement state and crediting the per-size hit counters.
-    pub fn lookup(&mut self, trigger: Line, pc_hash: u8) -> Option<StreamEntry> {
+    ///
+    /// Returns a borrow of the stored entry — the demand path decides
+    /// per hit whether a copy is worth making (most hits only read the
+    /// successor slice), so the store never clones on its own.
+    pub fn lookup(&mut self, trigger: Line, pc_hash: u8) -> Option<&StreamEntry> {
         self.lookups += 1;
         let set_idx = self.set_of(trigger);
         if self.cfg.filtering && !self.allocated_at(set_idx, self.size) {
@@ -402,7 +441,7 @@ impl StreamStore {
                 self.credit[rank] += worth;
             }
         }
-        Some(slot.entry.clone())
+        Some(&set.slots[pos].as_ref().expect("present").entry)
     }
 
     /// Reads the first target stored for `trigger` without touching any
@@ -565,7 +604,7 @@ mod tests {
         let mut s = store(StreamlineConfig::default());
         let e = entry(100, 200);
         assert!(matches!(s.insert(e.clone(), 1), StoreInsert::Stored { .. }));
-        assert_eq!(s.lookup(Line(100), 1), Some(e));
+        assert_eq!(s.lookup(Line(100), 1), Some(&e));
         assert_eq!(s.lookup(Line(101), 1), None);
     }
 
@@ -579,8 +618,10 @@ mod tests {
 
     #[test]
     fn half_size_filters_about_half() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.fixed_size = Some(PartitionSize::Half);
+        let cfg = StreamlineConfig {
+            fixed_size: Some(PartitionSize::Half),
+            ..Default::default()
+        };
         let s = store(cfg);
         let filtered = (0..4000u64)
             .filter(|&t| s.would_filter(Line(t * 131)))
@@ -593,8 +634,10 @@ mod tests {
 
     #[test]
     fn skewed_indexing_reduces_small_size_filtering() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.fixed_size = Some(PartitionSize::Quarter);
+        let mut cfg = StreamlineConfig {
+            fixed_size: Some(PartitionSize::Quarter),
+            ..Default::default()
+        };
         let plain = store(cfg);
         cfg.skewed = true;
         let skewed = store(cfg);
@@ -613,9 +656,11 @@ mod tests {
 
     #[test]
     fn hybrid_quarter_filters_half_not_three_quarters() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.fixed_size = Some(PartitionSize::Quarter);
-        cfg.hybrid = true;
+        let cfg = StreamlineConfig {
+            fixed_size: Some(PartitionSize::Quarter),
+            hybrid: true,
+            ..Default::default()
+        };
         let s = store(cfg);
         let filtered = (0..4000u64)
             .filter(|&t| s.would_filter(Line(t * 131)))
@@ -643,9 +688,11 @@ mod tests {
 
     #[test]
     fn unfiltered_resize_moves_blocks() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.filtering = false;
-        cfg.realignment = false;
+        let cfg = StreamlineConfig {
+            filtering: false,
+            realignment: false,
+            ..Default::default()
+        };
         let mut s = store(cfg);
         for t in 0..2000u64 {
             s.insert(entry(t * 97, t), 1);
@@ -676,8 +723,10 @@ mod tests {
         s.reset_epoch();
         assert_eq!(s.hits_at(PartitionSize::Full), 0);
         // From a small current size, bigger sizes extrapolate upward.
-        let mut cfg = StreamlineConfig::default();
-        cfg.fixed_size = Some(PartitionSize::Half);
+        let cfg = StreamlineConfig {
+            fixed_size: Some(PartitionSize::Half),
+            ..Default::default()
+        };
         let mut sm = store(cfg);
         for t in 0..4096u64 {
             sm.insert(entry(t * 257, t), 1);
@@ -691,8 +740,10 @@ mod tests {
 
     #[test]
     fn capacity_eviction_keeps_set_bounded() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.llc_sets = 2; // tiny store: 2 sets x 32 entries
+        let cfg = StreamlineConfig {
+            llc_sets: 2, // tiny store: 2 sets x 32 entries
+            ..Default::default()
+        };
         let mut s = store(cfg);
         for t in 0..500u64 {
             s.insert(entry(t, t * 10), 3);
@@ -704,9 +755,11 @@ mod tests {
     fn non_tsp_mode_has_lower_effective_associativity() {
         // With way-partitioned placement, conflicting triggers thrash a
         // single way group; TSP absorbs them in the full 32-entry set.
-        let mut base = StreamlineConfig::default();
-        base.llc_sets = 1;
-        base.tpmj = false;
+        let base = StreamlineConfig {
+            llc_sets: 1,
+            tpmj: false,
+            ..Default::default()
+        };
         let mut tsp_cfg = base;
         tsp_cfg.tsp = true;
         let mut way_cfg = base;
@@ -763,9 +816,11 @@ mod tests {
 
     #[test]
     fn hybrid_shrink_trims_unreachable_slots() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.hybrid = true;
-        cfg.tpmj = true;
+        let cfg = StreamlineConfig {
+            hybrid: true,
+            tpmj: true,
+            ..Default::default()
+        };
         let mut s = store(cfg);
         for t in 0..20_000u64 {
             s.insert(entry(t * 97, t), 1);
@@ -789,10 +844,12 @@ mod tests {
 
     #[test]
     fn regrow_after_hybrid_shrink_keeps_etr_consistent() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.hybrid = true;
-        cfg.tpmj = true;
-        cfg.llc_sets = 64; // small store so sets fill at every size
+        let cfg = StreamlineConfig {
+            hybrid: true,
+            tpmj: true,
+            llc_sets: 64, // small store so sets fill at every size
+            ..Default::default()
+        };
         let mut s = store(cfg);
         for t in 0..5_000u64 {
             s.insert(entry(t * 97, t), 1);
@@ -811,10 +868,139 @@ mod tests {
         assert!(s.valid_entries() > 0);
     }
 
+    /// The old list-building victim scan, kept as the reference model
+    /// for the in-place [`select_victim`] rewrite: collect all allowed
+    /// indices, restrict to the probation tail when thrashing (falling
+    /// back to all if the tail holds no allowed slot), then pick with
+    /// `max_by_key`/`min_by_key` exactly as the original code did.
+    fn reference_victim(
+        cap: usize,
+        thrashing: bool,
+        etr: Option<&EtrSet>,
+        slots: &[Option<Slot>],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> usize {
+        let all: Vec<usize> = (0..cap).filter(|&i| allowed(i)).collect();
+        let candidates: Vec<usize> = if thrashing {
+            let probation = (cap / 8).max(1);
+            let p: Vec<usize> = all.iter().copied().filter(|&i| i >= cap - probation).collect();
+            if p.is_empty() {
+                all
+            } else {
+                p
+            }
+        } else {
+            all
+        };
+        match etr {
+            Some(e) => candidates
+                .iter()
+                .copied()
+                .max_by_key(|&i| {
+                    let v = e.etr_value(i);
+                    (v.unsigned_abs(), v < 0)
+                })
+                .expect("candidates nonempty"),
+            None => candidates
+                .iter()
+                .copied()
+                .min_by_key(|&i| slots[i].as_ref().map(|s| s.lru).unwrap_or(0))
+                .expect("candidates nonempty"),
+        }
+    }
+
+    #[test]
+    fn victim_scan_matches_list_building_reference() {
+        tpcheck::check("in-place victim scan == reference", 512, |g| {
+            let cap = g.usize_in(1..40);
+            let thrashing = g.bool();
+            let tpmj = g.bool();
+            // Random ETR state: small value range forces |ETR| ties so
+            // the last-maximal tie-break is actually exercised; negative
+            // fills cover the overdue-preferred rule.
+            let etr_set = if tpmj {
+                let mut e = EtrSet::new(cap, 8);
+                for w in 0..cap {
+                    e.fill(w, g.u64_in(0..9) as i32 - 4);
+                }
+                Some(e)
+            } else {
+                None
+            };
+            // Random occupancy and LRU stamps (duplicates likely, so the
+            // first-minimal tie-break is exercised too).
+            let slots: Vec<Option<Slot>> = (0..cap)
+                .map(|i| {
+                    g.bool().then(|| Slot {
+                        entry: StreamEntry::new(Line(i as u64), vec![Line(1)]),
+                        partial_tag: 0,
+                        lru: g.u64_in(0..6),
+                    })
+                })
+                .collect();
+            // Random allowed mask, guaranteed nonempty (the real caller
+            // always has at least one allowed slot: the insert path's
+            // way group / alias group is never empty).
+            let mut mask: Vec<bool> = (0..cap).map(|_| g.bool()).collect();
+            let forced = g.usize_in(0..cap);
+            mask[forced] = true;
+            let allowed = |i: usize| mask[i];
+
+            let got = select_victim(cap, thrashing, etr_set.as_ref(), &slots, &allowed);
+            let want = reference_victim(cap, thrashing, etr_set.as_ref(), &slots, &allowed);
+            tpcheck::ensure!(
+                got == want,
+                "cap={cap} thrashing={thrashing} tpmj={tpmj}: got {got}, want {want}"
+            );
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn lookup_does_not_perturb_stored_entries() {
+        tpcheck::check("lookup leaves entries byte-identical", 64, |g| {
+            let cfg = StreamlineConfig {
+                llc_sets: 1 << g.usize_in(0..4),
+                tpmj: g.bool(),
+                tsp: g.bool(),
+                ..Default::default()
+            };
+            let mut s = StreamStore::new(cfg);
+            let triggers: Vec<u64> = (0..g.usize_in(1..80))
+                .map(|_| g.u64_in(1..500) * 131)
+                .collect();
+            for &t in &triggers {
+                s.insert(entry(t, t / 7), (t % 251) as u8);
+            }
+            let total = s.valid_entries();
+            for &t in &triggers {
+                let first = s.lookup(Line(t), (t % 251) as u8).cloned();
+                let second = s.lookup(Line(t), (t % 251) as u8).cloned();
+                tpcheck::ensure!(
+                    first == second,
+                    "trigger {t}: repeated lookups diverged ({first:?} vs {second:?})"
+                );
+                if let Some(e) = &first {
+                    tpcheck::ensure!(
+                        *e == entry(t, t / 7),
+                        "trigger {t}: lookup returned a perturbed entry {e:?}"
+                    );
+                }
+            }
+            tpcheck::ensure!(
+                s.valid_entries() == total,
+                "lookups changed the resident population"
+            );
+            Ok(())
+        });
+    }
+
     #[test]
     fn redundant_pair_detection() {
-        let mut cfg = StreamlineConfig::default();
-        cfg.llc_sets = 1;
+        let cfg = StreamlineConfig {
+            llc_sets: 1,
+            ..Default::default()
+        };
         let mut s = store(cfg);
         s.insert(entry(1, 100), 1); // pairs (1,101),(101,102)...
         // Another entry sharing pairs (101,102).

@@ -55,8 +55,15 @@ impl StreamEntry {
 
     /// The correlation pairs `(a, b)` the entry encodes.
     pub fn pairs(&self) -> Vec<(Line, Line)> {
-        let addrs: Vec<Line> = self.addresses().collect();
-        addrs.windows(2).map(|w| (w[0], w[1])).collect()
+        self.pair_iter().collect()
+    }
+
+    /// Iterates the correlation pairs without allocating (the store's
+    /// per-insert redundancy scan runs this on every resident entry).
+    pub fn pair_iter(&self) -> impl Iterator<Item = (Line, Line)> + '_ {
+        // Addresses are [trigger, t0, t1, ...]; consecutive pairs are
+        // exactly addresses zipped with targets.
+        self.addresses().zip(self.targets.iter().copied())
     }
 }
 

@@ -128,23 +128,36 @@ impl StreamTu {
 
     /// Looks up `line` in `pc`'s metadata buffer; on a hit returns the
     /// covering entry's remaining successors (MRU entry refreshed).
+    /// Allocating convenience wrapper around
+    /// [`StreamTu::buffer_lookup_into`].
     pub fn buffer_lookup(&mut self, pc: Pc, line: Line) -> Option<Vec<Line>> {
+        let mut out = Vec::new();
+        self.buffer_lookup_into(pc, line, &mut out).then_some(out)
+    }
+
+    /// Looks up `line` in `pc`'s metadata buffer; on a hit appends the
+    /// covering entry's remaining successors to `out` (MRU entry
+    /// refreshed) and returns `true`. The prefetch hot path reuses one
+    /// scratch buffer across chase steps, so this never allocates.
+    pub fn buffer_lookup_into(&mut self, pc: Pc, line: Line, out: &mut Vec<Line>) -> bool {
         if self.buffer_entries == 0 {
-            return None;
+            return false;
         }
         let idx = self.index(pc);
         let s = &mut self.slots[idx];
         if !s.valid || s.tag != pc.0 {
-            return None;
+            return false;
         }
-        let pos = s.buffer.iter().position(|e| {
+        let Some(pos) = s.buffer.iter().position(|e| {
             e.position_of(line)
                 .is_some_and(|p| p < e.correlations())
-        })?;
+        }) else {
+            return false;
+        };
         let e = s.buffer.remove(pos);
-        let succ = e.successors_of(line).to_vec();
+        out.extend_from_slice(e.successors_of(line));
         s.buffer.insert(0, e);
-        Some(succ)
+        true
     }
 
     /// Finds a buffer entry containing `trigger` at a non-final position

@@ -105,9 +105,11 @@ mod tests {
 
     fn report(ipc_num: u64, den: u64) -> SimReport {
         let mut r = SimReport::default();
-        let mut c = CoreReport::default();
-        c.instructions = ipc_num;
-        c.cycles = den;
+        let c = CoreReport {
+            instructions: ipc_num,
+            cycles: den,
+            ..Default::default()
+        };
         r.cores.push(c);
         r
     }
@@ -131,8 +133,7 @@ mod tests {
 
     #[test]
     fn summarize_filters_by_suite() {
-        let runs = vec![
-            PairedRun {
+        let runs = [PairedRun {
                 workload: workloads::by_name("gap.pr").unwrap(),
                 base: report(100, 100),
                 with: report(200, 100),
@@ -141,8 +142,7 @@ mod tests {
                 workload: workloads::by_name("spec06.mcf").unwrap(),
                 base: report(100, 100),
                 with: report(100, 100),
-            },
-        ];
+            }];
         let gap = summarize(runs.iter(), Some(Suite::Gap));
         assert_eq!(gap.n, 1);
         assert!((gap.speedup_pct - 100.0).abs() < 1e-6);
@@ -155,17 +155,21 @@ mod tests {
     fn mix_speedup_pairs_cores() {
         let mut base = report(100, 100);
         base.cores.push({
-            let mut c = CoreReport::default();
-            c.instructions = 100;
-            c.cycles = 200;
-            c
+            
+            CoreReport {
+                instructions: 100,
+                cycles: 200,
+                ..Default::default()
+            }
         });
         let mut with = report(100, 50);
         with.cores.push({
-            let mut c = CoreReport::default();
-            c.instructions = 100;
-            c.cycles = 200;
-            c
+            
+            CoreReport {
+                instructions: 100,
+                cycles: 200,
+                ..Default::default()
+            }
         });
         // Core 0 sped up 2x, core 1 unchanged: gmean = sqrt(2).
         assert!((mix_speedup(&base, &with) - 2f64.sqrt()).abs() < 1e-9);

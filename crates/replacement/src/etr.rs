@@ -138,10 +138,8 @@ impl EtrSampler {
         let victim = set[victim_idx];
         if victim.valid {
             let slot = &mut self.rdp[victim.pc_hash as usize];
-            *slot = if *slot == u32::MAX {
-                u32::MAX
-            } else if *slot >= self.config.max_distance / 2 {
-                u32::MAX // repeated non-reuse: declare scan
+            *slot = if *slot >= self.config.max_distance / 2 {
+                u32::MAX // repeated non-reuse (or already scan): declare scan
             } else {
                 (*slot).saturating_add(self.config.max_distance / 8).max(1)
             };
@@ -201,7 +199,7 @@ impl EtrSet {
     /// Records a set access, aging all valid ways periodically.
     pub fn tick(&mut self) {
         self.access_count += 1;
-        if self.access_count % self.granularity == 0 {
+        if self.access_count.is_multiple_of(self.granularity) {
             for (e, &v) in self.etr.iter_mut().zip(&self.valid) {
                 if v {
                     *e -= 1;

@@ -103,7 +103,7 @@ mod tests {
         let mut seed = 0x1234_5678_u64;
         let mut next = || {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (seed >> 33) as u64
+            seed >> 33
         };
         for _ in 0..20 {
             let stream: Vec<Correlation> = (0..400)

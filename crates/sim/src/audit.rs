@@ -404,8 +404,10 @@ mod tests {
 
     #[test]
     fn monotonicity_regression_is_reported() {
-        let mut base = TemporalStats::default();
-        base.inserts = 100;
+        let base = TemporalStats {
+            inserts: 100,
+            ..Default::default()
+        };
         let now = TemporalStats::default(); // counter ran backwards
         let r = check_temporal_monotonic(0, &base, &now);
         assert!(!r.passed());

@@ -72,16 +72,25 @@ impl MshrWindow {
     }
 }
 
+/// Per-way metadata, kept contiguous so one set scan walks a couple of
+/// cache lines instead of five parallel arrays (tag/valid/dirty/
+/// prefetched/lru each used to live in its own heap allocation, which
+/// made every lookup five data-dependent cache misses).
+#[derive(Clone, Copy, Debug, Default)]
+struct WaySlot {
+    tag: u64,
+    lru: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched: bool,
+}
+
 /// One cache level.
 #[derive(Clone, Debug)]
 pub struct CacheLevel {
     params: CacheParams,
     sets: usize,
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
-    prefetched: Vec<bool>,
-    lru: Vec<u64>,
+    ways: Vec<WaySlot>,
     clock: u64,
     /// Per-set ways reserved for prefetcher metadata (LLC only; zero
     /// elsewhere). Data may only occupy ways `< ways - reserved`.
@@ -104,11 +113,7 @@ impl CacheLevel {
         let slots = sets * params.ways;
         CacheLevel {
             sets,
-            tags: vec![0; slots],
-            valid: vec![false; slots],
-            dirty: vec![false; slots],
-            prefetched: vec![false; slots],
-            lru: vec![0; slots],
+            ways: vec![WaySlot::default(); slots],
             clock: 0,
             reserved: vec![0; sets],
             prefetch_low_priority: false,
@@ -179,25 +184,28 @@ impl CacheLevel {
     /// Pure lookup (no state change); true if present.
     pub fn probe(&self, line: Line) -> bool {
         let set = self.set_of(line);
-        (0..self.usable_ways(set))
-            .any(|w| self.valid[self.slot(set, w)] && self.tags[self.slot(set, w)] == line.0)
+        let base = self.slot(set, 0);
+        self.ways[base..base + self.usable_ways(set)]
+            .iter()
+            .any(|w| w.valid && w.tag == line.0)
     }
 
     /// Demand lookup: updates recency and prefetch bits and counts stats.
     pub fn demand_lookup(&mut self, line: Line, is_write: bool) -> LookupResult {
         self.stats.accesses += 1;
         let set = self.set_of(line);
-        for w in 0..self.usable_ways(set) {
-            let s = self.slot(set, w);
-            if self.valid[s] && self.tags[s] == line.0 {
+        let base = self.slot(set, 0);
+        for s in base..base + self.usable_ways(set) {
+            let way = &mut self.ways[s];
+            if way.valid && way.tag == line.0 {
                 self.clock += 1;
-                self.lru[s] = self.clock;
+                way.lru = self.clock;
                 if is_write {
-                    self.dirty[s] = true;
+                    way.dirty = true;
                 }
-                let first_prefetch_touch = self.prefetched[s];
+                let first_prefetch_touch = way.prefetched;
                 if first_prefetch_touch {
-                    self.prefetched[s] = false;
+                    way.prefetched = false;
                     self.stats.useful_prefetches += 1;
                 }
                 self.stats.hits += 1;
@@ -219,91 +227,99 @@ impl CacheLevel {
             // Fully reserved set: the fill bypasses this level.
             return None;
         }
-        // Refill of a present line just updates bits.
-        for w in 0..usable {
-            let s = self.slot(set, w);
-            if self.valid[s] && self.tags[s] == line.0 {
+        let base = self.slot(set, 0);
+        // One pass over the set: refill of a present line just updates
+        // bits; otherwise remember the first invalid way as the victim.
+        let mut invalid = None;
+        for s in base..base + usable {
+            let way = &self.ways[s];
+            if way.valid && way.tag == line.0 {
                 if dirty {
-                    self.dirty[s] = true;
+                    self.ways[s].dirty = true;
                 }
                 return None;
+            }
+            if !way.valid && invalid.is_none() {
+                invalid = Some(s);
             }
         }
         if prefetch {
             self.stats.prefetch_fills += 1;
         }
         // Victim: invalid way first, else LRU.
-        let mut victim = None;
-        for w in 0..usable {
-            let s = self.slot(set, w);
-            if !self.valid[s] {
-                victim = Some(w);
-                break;
-            }
-        }
-        let victim = victim.unwrap_or_else(|| {
+        let s = invalid.unwrap_or_else(|| {
             if self.prefetch_low_priority {
                 // Unused prefetched blocks first (distant re-reference),
                 // then LRU among demand blocks.
-                (0..usable)
-                    .min_by_key(|&w| {
-                        let s = self.slot(set, w);
-                        (!self.prefetched[s], self.lru[s])
+                (base..base + usable)
+                    .min_by_key(|&s| {
+                        let way = &self.ways[s];
+                        (!way.prefetched, way.lru)
                     })
                     .expect("usable ways > 0")
             } else {
-                (0..usable)
-                    .min_by_key(|&w| self.lru[self.slot(set, w)])
+                (base..base + usable)
+                    .min_by_key(|&s| self.ways[s].lru)
                     .expect("usable ways > 0")
             }
         });
-        let s = self.slot(set, victim);
-        let evicted = if self.valid[s] {
-            let was_unused_prefetch = self.prefetched[s];
-            if was_unused_prefetch {
+        let way = self.ways[s];
+        let evicted = if way.valid {
+            if way.prefetched {
                 self.stats.useless_prefetch_evictions += 1;
             }
-            if self.dirty[s] {
+            if way.dirty {
                 self.stats.writebacks += 1;
             }
-            Some((Line(self.tags[s]), self.dirty[s], was_unused_prefetch))
+            Some((Line(way.tag), way.dirty, way.prefetched))
         } else {
             None
         };
         self.clock += 1;
-        self.tags[s] = line.0;
-        self.valid[s] = true;
-        self.dirty[s] = dirty;
-        self.prefetched[s] = prefetch;
-        self.lru[s] = self.clock;
+        self.ways[s] = WaySlot {
+            tag: line.0,
+            lru: self.clock,
+            valid: true,
+            dirty,
+            prefetched: prefetch,
+        };
         evicted
     }
 
     /// Reserves `ways` ways for metadata in `set`, invalidating displaced
     /// data blocks. Returns evicted `(line, dirty)` pairs so the caller
-    /// can charge writeback traffic.
+    /// can charge writeback traffic. Allocating convenience wrapper
+    /// around [`CacheLevel::reserve_ways_into`].
     pub fn reserve_ways(&mut self, set: usize, ways: u8) -> Vec<(Line, bool)> {
+        let mut evicted = Vec::new();
+        self.reserve_ways_into(set, ways, &mut evicted);
+        evicted
+    }
+
+    /// Like [`CacheLevel::reserve_ways`], but appends evicted pairs to a
+    /// caller-provided scratch buffer instead of allocating a fresh Vec
+    /// (the repartition path reuses one buffer across every set).
+    pub fn reserve_ways_into(&mut self, set: usize, ways: u8, evicted: &mut Vec<(Line, bool)>) {
         assert!((ways as usize) <= self.params.ways);
         let old_usable = self.usable_ways(set);
         self.reserved[set] = ways;
         let new_usable = self.usable_ways(set);
-        let mut evicted = Vec::new();
         for w in new_usable..old_usable {
             let s = self.slot(set, w);
-            if self.valid[s] {
-                if self.dirty[s] {
+            let way = self.ways[s];
+            if way.valid {
+                if way.dirty {
                     self.stats.writebacks += 1;
                 }
-                if self.prefetched[s] {
+                if way.prefetched {
                     self.stats.useless_prefetch_evictions += 1;
                 }
-                evicted.push((Line(self.tags[s]), self.dirty[s]));
-                self.valid[s] = false;
-                self.dirty[s] = false;
-                self.prefetched[s] = false;
+                evicted.push((Line(way.tag), way.dirty));
+                self.ways[s].valid = false;
+                self.ways[s].dirty = false;
+                self.ways[s].prefetched = false;
             }
         }
-        evicted
     }
 
     /// Current reservation for `set`.
@@ -318,18 +334,14 @@ impl CacheLevel {
 
     /// Number of valid data blocks (test/introspection hook).
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 
     /// Number of resident blocks still carrying the prefetched bit
     /// (installed by a prefetch, not yet demand-touched). Captured at
     /// stats reset as slack for the audit's prefetch-resolution law.
     pub fn resident_prefetched(&self) -> u64 {
-        self.valid
-            .iter()
-            .zip(&self.prefetched)
-            .filter(|&(&v, &p)| v && p)
-            .count() as u64
+        self.ways.iter().filter(|w| w.valid && w.prefetched).count() as u64
     }
 
     /// Access latency of this level.

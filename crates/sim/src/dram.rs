@@ -224,13 +224,12 @@ mod tests {
     fn back_to_back_same_bank_queues() {
         let mut d = dram();
         let l = Line(0);
-        let mut t = 0;
         let mut last = 0;
-        for _ in 0..10 {
+        // Arrivals come every cycle, faster than service.
+        for t in 0..10 {
             let done = d.read(t, l);
             assert!(done > last);
             last = done;
-            t += 1; // arrivals faster than service
         }
         // Sustained row hits: spacing should approach burst-limited rate.
         assert!(last >= 10 * d.params().burst);

@@ -4,12 +4,12 @@
 use crate::audit::{self, AuditReport};
 use crate::config::SystemConfig;
 use crate::core_model::CoreTiming;
-use crate::hierarchy::{Hierarchy, PrefetchOrigin};
+use crate::hierarchy::{FeedbackEvent, Hierarchy, PrefetchOrigin};
 use crate::prefetch::{
     AccessPrefetcher, MetaCtx, PartitionSpec, TemporalEvent, TemporalPrefetcher,
 };
 use crate::stats::{CoreReport, SimReport, TemporalStats};
-use tptrace::record::AccessKind;
+use tptrace::record::{AccessKind, Line};
 use tptrace::Trace;
 
 /// Everything attached to one simulated core.
@@ -120,6 +120,14 @@ pub struct Engine {
     /// Conservation-law violations collected while running (snapshot
     /// monotonicity); merged with the final hierarchy audit in `report`.
     audit: AuditReport,
+    /// Scratch buffers swapped with the hierarchy's feedback/sample
+    /// queues each step; both sides retain capacity, so steady-state
+    /// draining never allocates.
+    feedback_scratch: Vec<FeedbackEvent>,
+    samples_scratch: Vec<Line>,
+    /// Scratch buffer handed to `TemporalPrefetcher::on_event` each
+    /// event (cleared before the call, capacity retained across events).
+    prefetch_scratch: Vec<Line>,
 }
 
 impl Engine {
@@ -161,6 +169,9 @@ impl Engine {
             states,
             warmup_frac: 0.2,
             audit: AuditReport::default(),
+            feedback_scratch: Vec::new(),
+            samples_scratch: Vec::new(),
+            prefetch_scratch: Vec::new(),
         }
     }
 
@@ -200,7 +211,7 @@ impl Engine {
             let mut best: Option<(u64, usize)> = None;
             for (c, s) in self.states.iter().enumerate() {
                 if let Some(t) = s.pending_issue {
-                    if best.map_or(true, |(bt, _)| t < bt) {
+                    if best.is_none_or(|(bt, _)| t < bt) {
                         best = Some((t, c));
                     }
                 }
@@ -261,7 +272,7 @@ impl Engine {
         self.states[core].processed += 1;
 
         let tag = self.states[core].address_tag;
-        let line = tptrace::record::Line(access.addr.line().0 | tag);
+        let line = Line(access.addr.line().0 | tag);
         let is_write = access.kind == AccessKind::Store;
 
         let outcome = self.hierarchy.demand_access(core, line, is_write, issue);
@@ -305,7 +316,9 @@ impl Engine {
                     now: issue,
                 };
                 let tp = self.plans[core].temporal.as_mut().expect("checked");
-                let lines = tp.on_event(&mut ctx, ev);
+                let mut lines = std::mem::take(&mut self.prefetch_scratch);
+                lines.clear();
+                tp.on_event(&mut ctx, ev, &mut lines);
                 let dedicated = tp.partition() == PartitionSpec::Dedicated;
                 // Metadata reads delay the dependent prefetches.
                 let delay = if ctx.reads() > 0 {
@@ -316,7 +329,7 @@ impl Engine {
                 self.hierarchy.apply_meta_charges(core, &ctx, dedicated);
                 let mut issued = 0u64;
                 let mut dropped = 0u64;
-                for (i, l) in lines.into_iter().enumerate() {
+                for (i, &l) in lines.iter().enumerate() {
                     if i >= MAX_PREFETCHES_PER_EVENT {
                         dropped += 1; // queue truncation
                         continue;
@@ -329,6 +342,7 @@ impl Engine {
                         None => dropped += 1, // duplicate or backlog drop
                     }
                 }
+                self.prefetch_scratch = lines;
                 self.states[core].temporal_pf_issued += issued;
                 self.states[core].temporal_pf_dropped += dropped;
                 // Partition changes (dynamic repartitioning).
@@ -343,15 +357,21 @@ impl Engine {
         // data-utility model (hardware set dueling observes all LLC
         // traffic, including prefetch-driven fills).
         if self.plans[core].temporal.is_some() {
-            let samples = self.hierarchy.take_llc_samples(core);
+            self.hierarchy
+                .drain_llc_samples_into(core, &mut self.samples_scratch);
             let tp = self.plans[core].temporal.as_mut().expect("checked");
-            for l in samples {
+            for &l in &self.samples_scratch {
                 tp.observe_llc(l);
             }
         }
 
-        // Deliver prefetch feedback and update accuracy epochs.
-        for fb in self.hierarchy.take_feedback() {
+        // Deliver prefetch feedback and update accuracy epochs. The
+        // index loop (events are `Copy`) keeps the scratch buffer
+        // borrow disjoint from the `states`/`plans` mutations inside.
+        self.hierarchy
+            .drain_feedback_into(&mut self.feedback_scratch);
+        for idx in 0..self.feedback_scratch.len() {
+            let fb = self.feedback_scratch[idx];
             let s = &mut self.states[fb.core];
             if fb.origin == PrefetchOrigin::Temporal {
                 s.epoch_feedback += 1;

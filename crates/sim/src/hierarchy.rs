@@ -7,7 +7,7 @@ use crate::config::SystemConfig;
 use crate::dram::Dram;
 use crate::prefetch::{L2EventKind, MetaCtx, PartitionSpec};
 use crate::stats::{CacheStats, DramStats};
-use std::collections::HashMap;
+use crate::table::LineMap;
 use tptrace::record::Line;
 
 /// Who installed a prefetched block (for feedback routing and per-source
@@ -99,10 +99,27 @@ struct CoreCaches {
     l1d: CacheLevel,
     l2: CacheLevel,
     /// Prefetch origin per filled L2 line (block-granularity sidecar).
-    l2_origin: HashMap<Line, PrefetchOrigin>,
-    /// In-flight fill times for prefetches at each level.
-    l1_inflight: HashMap<Line, u64>,
-    l2_inflight: HashMap<Line, u64>,
+    ///
+    /// A sidecar record exists only while its block is resident in the
+    /// owning level (inserted after `fill`, removed on eviction or
+    /// first demand touch), so its population tracks the number of
+    /// prefetched-but-untouched resident blocks. The tables start at
+    /// MSHR scale and grow deterministically toward that steady-state
+    /// population; once converged they never rehash again, and every
+    /// demand-path probe is gated on the way's prefetched bit so a
+    /// lookup only happens when a record can actually exist.
+    l2_origin: LineMap<PrefetchOrigin>,
+    /// In-flight fill times for prefetches at each level. Entries whose
+    /// block marks the owning way `prefetched`; the L2 copy of an
+    /// L1-origin prefetch does not mark its way, so it lives in
+    /// [`CoreCaches::l2_inflight_l1`] instead.
+    l1_inflight: LineMap<u64>,
+    l2_inflight: LineMap<u64>,
+    /// In-flight fill times for L1-origin prefetches' L2 copies (the
+    /// one case where an in-flight record exists without the resident
+    /// way being marked `prefetched`). Empty unless an L1 prefetcher is
+    /// configured, so the demand path checks `is_empty` before probing.
+    l2_inflight_l1: LineMap<u64>,
     origin_counters: OriginCounters,
     meta_traffic: MetaTraffic,
     partition: PartitionSpec,
@@ -148,18 +165,30 @@ pub struct Hierarchy {
     flows: GlobalFlows,
     /// Prefetched blocks resident in the LLC at the last stats reset.
     llc_prefetched_at_reset: u64,
+    /// Scratch buffer reused by [`Hierarchy::apply_partition`] so
+    /// repartition sweeps never allocate per set.
+    scratch_reserve: Vec<(Line, bool)>,
 }
 
 impl Hierarchy {
     /// Builds a hierarchy from the system configuration.
     pub fn new(config: SystemConfig) -> Self {
+        // Sidecar tables start at MSHR scale: the resident-population
+        // bound (sets * ways) would make each table far larger than the
+        // host's cache, turning every probe into a memory stall. The
+        // growth valve converges on the true prefetched-block
+        // population in O(log n) deterministic doublings and never
+        // fires again in steady state.
+        let l1_pf = config.l1d.mshrs.max(16);
+        let l2_pf = config.l2.mshrs.max(16);
         let cores = (0..config.cores)
             .map(|_| CoreCaches {
                 l1d: CacheLevel::new(config.l1d),
                 l2: CacheLevel::new(config.l2),
-                l2_origin: HashMap::new(),
-                l1_inflight: HashMap::new(),
-                l2_inflight: HashMap::new(),
+                l2_origin: LineMap::with_capacity_for(l2_pf),
+                l1_inflight: LineMap::with_capacity_for(l1_pf),
+                l2_inflight: LineMap::with_capacity_for(l2_pf),
+                l2_inflight_l1: LineMap::with_capacity_for(8),
                 origin_counters: OriginCounters::default(),
                 meta_traffic: MetaTraffic::default(),
                 partition: PartitionSpec::None,
@@ -180,6 +209,7 @@ impl Hierarchy {
             feedback: Vec::new(),
             flows: GlobalFlows::default(),
             llc_prefetched_at_reset: 0,
+            scratch_reserve: Vec::new(),
             config,
         }
     }
@@ -194,9 +224,28 @@ impl Hierarchy {
         std::mem::take(&mut self.feedback)
     }
 
+    /// Drains feedback events into a caller-provided scratch buffer.
+    ///
+    /// `out` is cleared and then *swapped* with the internal buffer, so
+    /// steady-state operation ping-pongs two capacity-retaining Vecs and
+    /// never allocates (unlike [`Hierarchy::take_feedback`], which hands
+    /// the buffer away and leaves a capacity-0 replacement behind).
+    pub fn drain_feedback_into(&mut self, out: &mut Vec<FeedbackEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.feedback, out);
+    }
+
     /// Drains the sampled LLC accesses for `core`.
     pub fn take_llc_samples(&mut self, core: usize) -> Vec<Line> {
         std::mem::take(&mut self.cores[core].llc_samples)
+    }
+
+    /// Drains the sampled LLC accesses for `core` into a caller-provided
+    /// scratch buffer (swap-based, allocation-free at steady state; see
+    /// [`Hierarchy::drain_feedback_into`]).
+    pub fn drain_llc_samples_into(&mut self, core: usize, out: &mut Vec<Line>) {
+        out.clear();
+        std::mem::swap(&mut self.cores[core].llc_samples, out);
     }
 
     /// L1D stats for a core.
@@ -301,12 +350,19 @@ impl Hierarchy {
         let cc = &mut self.cores[core];
         let t0 = cc.l1d.port_start(t);
         match cc.l1d.demand_lookup(line, is_write) {
-            LookupResult::Hit { .. } => {
+            LookupResult::Hit {
+                first_prefetch_touch,
+            } => {
                 let mut complete = t0 + cc.l1d.latency();
-                if let Some(fill) = cc.l1_inflight.remove(&line) {
-                    if fill > complete {
-                        cc.l1d.add_late_prefetch();
-                        complete = fill;
+                // An in-flight record exists only while the resident way
+                // still carries the prefetched bit, so the sidecar is
+                // probed exactly when this is the first demand touch.
+                if first_prefetch_touch {
+                    if let Some(fill) = cc.l1_inflight.remove(line) {
+                        if fill > complete {
+                            cc.l1d.add_late_prefetch();
+                            complete = fill;
+                        }
                     }
                 }
                 return DemandOutcome {
@@ -329,7 +385,16 @@ impl Hierarchy {
                 first_prefetch_touch,
             } => {
                 complete = t2 + cc.l2.latency();
-                if let Some(fill) = cc.l2_inflight.remove(&line) {
+                // Marked prefetches (bit set) live in `l2_inflight`;
+                // L1-origin copies (bit clear) in `l2_inflight_l1`.
+                let inflight = if first_prefetch_touch {
+                    cc.l2_inflight.remove(line)
+                } else if !cc.l2_inflight_l1.is_empty() {
+                    cc.l2_inflight_l1.remove(line)
+                } else {
+                    None
+                };
+                if let Some(fill) = inflight {
                     if fill > complete {
                         cc.l2.add_late_prefetch();
                         complete = fill;
@@ -339,7 +404,7 @@ impl Hierarchy {
                 if first_prefetch_touch {
                     let origin = cc
                         .l2_origin
-                        .remove(&line)
+                        .remove(line)
                         .unwrap_or(PrefetchOrigin::L2Regular);
                     cc.origin_counters.useful[origin.idx()] += 1;
                     self.feedback.push(FeedbackEvent {
@@ -387,7 +452,7 @@ impl Hierarchy {
         }
         let cc = &mut self.cores[core];
         cc.l1d.mshr.register(complete);
-        if let Some((evicted, dirty, _)) = cc.l1d.fill(line, is_write, false) {
+        if let Some((evicted, dirty, unused)) = cc.l1d.fill(line, is_write, false) {
             Self::handle_l1_eviction(
                 core,
                 cc,
@@ -397,6 +462,7 @@ impl Hierarchy {
                 &mut self.feedback,
                 evicted,
                 dirty,
+                unused,
                 complete,
             );
         }
@@ -424,9 +490,14 @@ impl Hierarchy {
         feedback: &mut Vec<FeedbackEvent>,
         evicted: Line,
         dirty: bool,
+        unused_prefetch: bool,
         t: u64,
     ) {
-        cc.l1_inflight.remove(&evicted);
+        // An in-flight record implies the way still carried the
+        // prefetched bit, which the eviction reports as unused.
+        if unused_prefetch {
+            cc.l1_inflight.remove(evicted);
+        }
         if !dirty {
             return;
         }
@@ -454,11 +525,13 @@ impl Hierarchy {
         unused_prefetch: bool,
         t: u64,
     ) {
-        cc.l2_inflight.remove(&evicted);
         if unused_prefetch {
+            // The way carried the prefetched bit, so any in-flight and
+            // origin records live in the marked-prefetch tables.
+            cc.l2_inflight.remove(evicted);
             let origin = cc
                 .l2_origin
-                .remove(&evicted)
+                .remove(evicted)
                 .unwrap_or(PrefetchOrigin::L2Regular);
             cc.origin_counters.useless[origin.idx()] += 1;
             feedback.push(FeedbackEvent {
@@ -468,7 +541,12 @@ impl Hierarchy {
                 useful: false,
             });
         } else {
-            cc.l2_origin.remove(&evicted);
+            // Bit clear: an origin record cannot exist (it is removed
+            // together with the bit on first demand touch), and the
+            // only possible in-flight record is an L1-origin L2 copy.
+            if !cc.l2_inflight_l1.is_empty() {
+                cc.l2_inflight_l1.remove(evicted);
+            }
         }
         if dirty {
             // Writeback to LLC: mark dirty there (refill path).
@@ -493,7 +571,7 @@ impl Hierarchy {
     fn llc_access(&mut self, core: usize, line: Line, t: u64, is_prefetch: bool) -> Option<u64> {
         // Record sampled LLC data accesses for the partitioners' data
         // models (1-in-32 sets, matching the prefetchers' samplers).
-        if (line.0 as usize & (self.llc.sets() - 1)) % 32 == 0 {
+        if (line.0 as usize & (self.llc.sets() - 1)).is_multiple_of(32) {
             self.cores[core].llc_samples.push(line);
         }
         let t0 = self.llc.port_start(t);
@@ -534,7 +612,7 @@ impl Hierarchy {
         }
         let fill = self.prefetch_into_l2_inner(core, line, t, PrefetchOrigin::L1)?;
         let cc = &mut self.cores[core];
-        if let Some((evicted, dirty, _)) = cc.l1d.fill(line, false, true) {
+        if let Some((evicted, dirty, unused)) = cc.l1d.fill(line, false, true) {
             Self::handle_l1_eviction(
                 core,
                 cc,
@@ -544,6 +622,7 @@ impl Hierarchy {
                 &mut self.feedback,
                 evicted,
                 dirty,
+                unused,
                 fill,
             );
         }
@@ -581,7 +660,8 @@ impl Hierarchy {
                 None
             };
         }
-        if self.cores[core].l2_inflight.contains_key(&line) {
+        let cc0 = &self.cores[core];
+        if cc0.l2_inflight.contains(line) || cc0.l2_inflight_l1.contains(line) {
             return None; // already being fetched
         }
         // Prefetches ride a separate queue (hardware gives them their
@@ -611,8 +691,10 @@ impl Hierarchy {
         cc.origin_counters.fills[origin.idx()] += 1;
         if mark_prefetched {
             cc.l2_origin.insert(line, origin);
+            cc.l2_inflight.insert(line, fill);
+        } else {
+            cc.l2_inflight_l1.insert(line, fill);
         }
-        cc.l2_inflight.insert(line, fill);
         Some(fill)
     }
 
@@ -677,9 +759,10 @@ impl Hierarchy {
                 }
             };
             if self.llc.reserved_ways(s) != ways {
+                self.scratch_reserve.clear();
+                self.llc.reserve_ways_into(s, ways, &mut self.scratch_reserve);
                 dirty_evictions += self
-                    .llc
-                    .reserve_ways(s, ways)
+                    .scratch_reserve
                     .iter()
                     .filter(|(_, dirty)| *dirty)
                     .count() as u64;

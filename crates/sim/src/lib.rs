@@ -42,6 +42,7 @@ pub mod hierarchy;
 pub mod prefetch;
 pub mod shadow;
 pub mod stats;
+pub mod table;
 
 pub use audit::{AuditReport, Violation};
 pub use config::{CacheParams, CoreParams, DramParams, SystemConfig};
@@ -53,6 +54,7 @@ pub use prefetch::{
 };
 pub use shadow::ShadowSets;
 pub use stats::{CacheStats, CoreReport, DramStats, SimReport, TemporalStats};
+pub use table::LineMap;
 
 /// Cache line size in bytes (re-exported from `tptrace`).
 pub const LINE_SIZE: u64 = tptrace::LINE_SIZE;

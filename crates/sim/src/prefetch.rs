@@ -164,9 +164,13 @@ pub trait TemporalPrefetcher: Send {
     fn name(&self) -> &'static str;
 
     /// Handles an L2 demand miss or prefetch hit: trains metadata and
-    /// returns the lines to prefetch into the L2 (bounded by the
-    /// prefetcher's degree).
-    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent) -> Vec<Line>;
+    /// appends the lines to prefetch into the L2 (bounded by the
+    /// prefetcher's degree) to `out`.
+    ///
+    /// `out` arrives empty — the engine clears and reuses one scratch
+    /// buffer across every event, so implementations must not allocate
+    /// a fresh Vec per call on the hot path.
+    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent, out: &mut Vec<Line>);
 
     /// Feedback when a previously issued prefetch is consumed (`useful`)
     /// or evicted unused (`!useful`).
@@ -217,7 +221,7 @@ impl TemporalPrefetcher for IdealTemporal {
         "ideal-temporal"
     }
 
-    fn on_event(&mut self, _ctx: &mut MetaCtx, ev: TemporalEvent) -> Vec<Line> {
+    fn on_event(&mut self, _ctx: &mut MetaCtx, ev: TemporalEvent, out: &mut Vec<Line>) {
         // Train: correlate the PC's previous access with this one.
         if let Some(prev) = self.last.insert(ev.pc, ev.line) {
             if prev != ev.line {
@@ -236,7 +240,6 @@ impl TemporalPrefetcher for IdealTemporal {
             }
         }
         // Prefetch: chase the correlation chain.
-        let mut out = Vec::with_capacity(self.degree);
         let mut cur = ev.line;
         for _ in 0..self.degree {
             match self.next.get(&cur) {
@@ -248,7 +251,6 @@ impl TemporalPrefetcher for IdealTemporal {
             }
         }
         self.stats.prefetches_issued += out.len() as u64;
-        out
     }
 
     fn partition(&self) -> PartitionSpec {
@@ -277,14 +279,17 @@ mod tests {
     fn ideal_learns_repeated_sequences() {
         let mut p = IdealTemporal::new(4);
         let mut ctx = MetaCtx::new(0, 0.0);
+        let mut out = Vec::new();
         let seq = [10u64, 20, 30, 40, 50];
         for _ in 0..2 {
             for &l in &seq {
-                p.on_event(&mut ctx, ev(1, l));
+                out.clear();
+                p.on_event(&mut ctx, ev(1, l), &mut out);
             }
         }
         // Third pass: on access to 10, the full chain should prefetch.
-        let out = p.on_event(&mut ctx, ev(1, 10));
+        out.clear();
+        p.on_event(&mut ctx, ev(1, 10), &mut out);
         assert_eq!(
             out,
             vec![Line(20), Line(30), Line(40), Line(50)],
@@ -296,12 +301,15 @@ mod tests {
     fn ideal_respects_degree() {
         let mut p = IdealTemporal::new(2);
         let mut ctx = MetaCtx::new(0, 0.0);
+        let mut out = Vec::new();
         for _ in 0..2 {
             for l in [1u64, 2, 3, 4, 5] {
-                p.on_event(&mut ctx, ev(9, l));
+                out.clear();
+                p.on_event(&mut ctx, ev(9, l), &mut out);
             }
         }
-        let out = p.on_event(&mut ctx, ev(9, 1));
+        out.clear();
+        p.on_event(&mut ctx, ev(9, 1), &mut out);
         assert_eq!(out.len(), 2);
     }
 

@@ -366,9 +366,11 @@ mod tests {
 
     #[test]
     fn coverage_and_accuracy_make_sense() {
-        let mut r = CoreReport::default();
-        r.instructions = 1000;
-        r.cycles = 500;
+        let mut r = CoreReport {
+            instructions: 1000,
+            cycles: 500,
+            ..Default::default()
+        };
         r.l2.misses = 50;
         r.l2.useful_prefetches = 50;
         r.l2.useless_prefetch_evictions = 25;
@@ -380,12 +382,16 @@ mod tests {
 
     #[test]
     fn stats_subtraction_diffs_counters() {
-        let mut a = CacheStats::default();
-        a.accesses = 10;
-        a.hits = 6;
-        let mut b = CacheStats::default();
-        b.accesses = 4;
-        b.hits = 2;
+        let a = CacheStats {
+            accesses: 10,
+            hits: 6,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 4,
+            hits: 2,
+            ..Default::default()
+        };
         let d = a - b;
         assert_eq!(d.accesses, 6);
         assert_eq!(d.hits, 4);
@@ -395,9 +401,11 @@ mod tests {
     fn gmean_of_identical_cores_is_their_ipc() {
         let mut rep = SimReport::default();
         for _ in 0..4 {
-            let mut c = CoreReport::default();
-            c.instructions = 100;
-            c.cycles = 100;
+            let c = CoreReport {
+                instructions: 100,
+                cycles: 100,
+                ..Default::default()
+            };
             rep.cores.push(c);
         }
         assert!((rep.ipc_gmean() - 1.0).abs() < 1e-9);

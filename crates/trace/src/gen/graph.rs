@@ -80,8 +80,8 @@ impl Csr {
         let mut offsets = Vec::with_capacity(vertices + 1);
         let mut targets = Vec::new();
         offsets.push(0u32);
-        for v in 0..vertices {
-            targets.extend_from_slice(&adj[v]);
+        for a in &adj {
+            targets.extend_from_slice(a);
             offsets.push(targets.len() as u32);
         }
         let prop_place = permutation(r, vertices);

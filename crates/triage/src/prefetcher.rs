@@ -83,7 +83,7 @@ impl Triage {
 
     fn maybe_resize(&mut self, ctx: &mut MetaCtx) {
         self.events += 1;
-        if self.events % self.config.epoch != 0 {
+        if !self.events.is_multiple_of(self.config.epoch) {
             return;
         }
         // Triage sizes the partition to maximise trigger hit rate: pick
@@ -126,7 +126,7 @@ impl TemporalPrefetcher for Triage {
         "triage"
     }
 
-    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent) -> Vec<Line> {
+    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent, out: &mut Vec<Line>) {
         let _ = ev.kind; // Triage trains identically on misses and prefetch hits.
 
         // --- Training: correlate the PC's previous access with this one.
@@ -153,7 +153,6 @@ impl TemporalPrefetcher for Triage {
 
         // --- Prefetching: chase correlations up to the degree; each hop
         // in a pairwise store is an independent metadata read.
-        let mut out = Vec::with_capacity(self.config.degree);
         let mut cur = ev.line;
         for _ in 0..self.config.degree {
             self.stats.trigger_lookups += 1;
@@ -177,7 +176,6 @@ impl TemporalPrefetcher for Triage {
         self.stats.prefetches_issued += out.len() as u64;
 
         self.maybe_resize(ctx);
-        out
     }
 
     fn observe_llc(&mut self, line: Line) {
@@ -215,7 +213,9 @@ mod tests {
             .iter()
             .map(|&l| {
                 let mut ctx = MetaCtx::new(0, 0.0);
-                t.on_event(&mut ctx, ev(pc, l))
+                let mut r = Vec::new();
+                t.on_event(&mut ctx, ev(pc, l), &mut r);
+                r
             })
             .collect()
     }
@@ -245,8 +245,8 @@ mod tests {
     fn metadata_traffic_is_charged() {
         let mut t = Triage::new();
         let mut ctx = MetaCtx::new(0, 0.0);
-        t.on_event(&mut ctx, ev(1, 10));
-        t.on_event(&mut ctx, ev(1, 20));
+        t.on_event(&mut ctx, ev(1, 10), &mut Vec::new());
+        t.on_event(&mut ctx, ev(1, 20), &mut Vec::new());
         assert!(ctx.writes() >= 1, "insert must write metadata");
         assert!(ctx.reads() >= 1, "prefetch lookup must read metadata");
     }
@@ -267,7 +267,7 @@ mod tests {
         // Pure scan: no trigger ever repeats.
         for i in 0..4000u64 {
             let mut ctx = MetaCtx::new(0, 0.0);
-            t.on_event(&mut ctx, ev(1, 1_000_000 + i));
+            t.on_event(&mut ctx, ev(1, 1_000_000 + i), &mut Vec::new());
         }
         assert_eq!(t.store.ways(), 0, "scan workload should release ways");
         assert_eq!(t.partition(), PartitionSpec::None);

@@ -112,7 +112,7 @@ impl Triangel {
 
     fn maybe_repartition(&mut self, ctx: &mut MetaCtx) {
         self.events += 1;
-        if self.events % self.config.epoch != 0 {
+        if !self.events.is_multiple_of(self.config.epoch) {
             return;
         }
         if self.config.fixed_ways.is_none() {
@@ -170,7 +170,7 @@ impl TemporalPrefetcher for Triangel {
         }
     }
 
-    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent) -> Vec<Line> {
+    fn on_event(&mut self, ctx: &mut MetaCtx, ev: TemporalEvent, out: &mut Vec<Line>) {
         let decision = self.tu.observe(ev.pc, ev.line);
 
         // --- Training: store the completed correlation if the PC's
@@ -202,7 +202,6 @@ impl TemporalPrefetcher for Triangel {
 
         // --- Prefetching: chase up to the confidence-granted degree,
         // checking the MRB before paying for LLC metadata reads.
-        let mut out = Vec::with_capacity(decision.degree);
         let mut cur = ev.line;
         for _ in 0..decision.degree {
             self.stats.trigger_lookups += 1;
@@ -234,7 +233,6 @@ impl TemporalPrefetcher for Triangel {
         self.stats.prefetches_issued += out.len() as u64;
 
         self.maybe_repartition(ctx);
-        out
     }
 
     fn observe_llc(&mut self, line: Line) {
@@ -278,7 +276,8 @@ mod tests {
             .iter()
             .map(|&l| {
                 let mut ctx = MetaCtx::new(0, 0.0);
-                let r = t.on_event(&mut ctx, ev(pc, l));
+                let mut r = Vec::new();
+                t.on_event(&mut ctx, ev(pc, l), &mut r);
                 reads += ctx.reads() as u64;
                 writes += ctx.writes() as u64;
                 r
@@ -350,7 +349,7 @@ mod tests {
         for _ in 0..5 {
             for &l in &seq {
                 let mut ctx = MetaCtx::new(0, 0.0);
-                t.on_event(&mut ctx, ev(1, l));
+                t.on_event(&mut ctx, ev(1, l), &mut Vec::new());
                 rearranged += ctx.rearranged() as u64;
             }
         }
@@ -363,9 +362,9 @@ mod tests {
                 (x >> 20) | (1 << 44) // unique: no temporal value
             };
             let mut ctx = MetaCtx::new(0, 0.0);
-            t.on_event(&mut ctx, ev(2, l));
+            t.on_event(&mut ctx, ev(2, l), &mut Vec::new());
             // The engine forwards sampled LLC accesses; emulate it.
-            if (l as usize & 2047) % 32 == 0 {
+            if (l as usize & 2047).is_multiple_of(32) {
                 t.observe_llc(Line(l));
             }
             rearranged += ctx.rearranged() as u64;

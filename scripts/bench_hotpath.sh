@@ -1,0 +1,20 @@
+#!/bin/sh
+# Emits BENCH_hotpath.json at the repo root: hot-loop throughput
+# (ns/access, accesses/sec) and exact heap-allocation counts for the
+# two pinned hot-path workloads (spec06.mcf pointer chase, synthetic
+# store flood), measured end-to-end through `Engine::run` with a
+# Streamline temporal prefetcher attached.
+#
+# The JSON also carries the pre-rewrite baseline for each phase (see
+# `baseline()` in crates/bench/src/bin/micro_bench.rs) and the speedup
+# against it. Numbers are wall-clock measurements: run on an otherwise
+# idle machine, and prefer the default 4 s budget or longer — short
+# budgets are noisy.
+#
+# Usage: ./scripts/bench_hotpath.sh [budget-ms]   (from the repo root)
+set -e
+cd "$(dirname "$0")/.."
+BUDGET_MS="${1:-4000}"
+cargo build --release -p tpbench
+./target/release/micro_bench --json --budget-ms="$BUDGET_MS" > BENCH_hotpath.json
+cat BENCH_hotpath.json

@@ -15,6 +15,13 @@ echo "== tier 1: build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== lint gate: clippy with warnings denied =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== hot-path equivalence suite (debug: audit + overflow checks on) =="
+cargo test -q --test hot_path_equivalence
+cargo test -q --test golden_snapshot
+
 echo "== audited quick sweep (release, test scale) =="
 cargo run --release -q -p tpbench --bin fig09_single_core -- \
   --scale=test --audit >/dev/null

@@ -11,6 +11,8 @@
 
 use streamline_repro::prelude::*;
 use streamline_repro::tpharness::sweep::{SweepJob, SweepRunner};
+use streamline_repro::tptrace::{Mix, TraceBuilder};
+use std::fmt::Write as _;
 
 /// (workload, baseline IPC, streamline IPC, streamline L2 MPKI,
 /// temporal coverage %, temporal accuracy %), all at 4 decimals.
@@ -61,6 +63,149 @@ fn summary_stats_match_golden_snapshot() {
         assert_eq!(got.4, want.4, "{}: temporal coverage moved", want.0);
         assert_eq!(got.5, want.5, "{}: temporal accuracy moved", want.0);
     }
+}
+
+/// Serialises **every** counter in a [`SimReport`] — per-core cache
+/// stats, temporal stats, origin arrays, LLC, and DRAM — one
+/// `key=value` per line. Unlike the headline snapshot above (4-decimal
+/// rates), this is the raw integer state of the whole run: any
+/// behavioural change to the simulator moves at least one line.
+fn full_dump(r: &SimReport) -> String {
+    let mut out = String::new();
+    let cache = |out: &mut String, tag: &str, c: &streamline_repro::tpsim::CacheStats| {
+        let _ = writeln!(
+            out,
+            "{tag}: acc={} hit={} miss={} useful_pf={} late_pf={} pf_fills={} useless_pf_ev={} wb={}",
+            c.accesses,
+            c.hits,
+            c.misses,
+            c.useful_prefetches,
+            c.late_prefetches,
+            c.prefetch_fills,
+            c.useless_prefetch_evictions,
+            c.writebacks
+        );
+    };
+    for (i, c) in r.cores.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "core{i}[{}]: instr={} cycles={}",
+            c.workload, c.instructions, c.cycles
+        );
+        cache(&mut out, &format!("core{i}.l1d"), &c.l1d);
+        cache(&mut out, &format!("core{i}.l2"), &c.l2);
+        let t = &c.temporal;
+        let _ = writeln!(
+            out,
+            "core{i}.temporal: mr={} mw={} rearr={} lk={} th={} ch={} ins={} red={} al={} fil={} real={} rsz={} pfi={}",
+            t.meta_reads,
+            t.meta_writes,
+            t.rearranged_blocks,
+            t.trigger_lookups,
+            t.trigger_hits,
+            t.correlation_hits,
+            t.inserts,
+            t.redundant_inserts,
+            t.aligned_inserts,
+            t.filtered,
+            t.realigned,
+            t.resizes,
+            t.prefetches_issued
+        );
+        let _ = writeln!(
+            out,
+            "core{i}.pf: l1={} l2={} tpi={} tpd={} fills={:?} useful={:?} useless={:?}",
+            c.l1_prefetches,
+            c.l2_prefetches,
+            c.temporal_pf_issued,
+            c.temporal_pf_dropped,
+            c.l2_fills_by_origin,
+            c.l2_useful_by_origin,
+            c.l2_useless_by_origin
+        );
+    }
+    cache(&mut out, "llc", &r.llc);
+    let _ = writeln!(
+        out,
+        "dram: rd={} wr={} rowhit={}",
+        r.dram.reads, r.dram.writes, r.dram.row_hits
+    );
+    out
+}
+
+/// Full counter state of a 2-core mix (irregular + store-pressure
+/// workloads) under stride + Streamline. Exercises the multi-core
+/// hierarchy paths: per-core inflight/origin tracking, shared-LLC
+/// contention, partitioning in the multi-core set domain.
+const GOLDEN_MULTICORE: &str = include_str!("golden/multicore.txt");
+
+/// Full counter state of a store-heavy synthetic run (stores over 2x
+/// the LLC with Streamline attached): pins the writeback cascade,
+/// eviction handling, and dirty-victim bookkeeping end to end.
+const GOLDEN_STORE_HEAVY: &str = include_str!("golden/store_heavy.txt");
+
+fn multicore_report() -> SimReport {
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    let mix = Mix {
+        index: 0,
+        workloads: vec![
+            workloads::by_name("gap.pr").expect("registry workload"),
+            workloads::by_name("spec06.mcf").expect("registry workload"),
+        ],
+    };
+    run_mix(&mix, &exp)
+}
+
+fn store_heavy_report() -> SimReport {
+    let mut b = TraceBuilder::new("synthetic.store-golden", Suite::Spec06);
+    // Stores over 2x the LLC with a 1-in-3 load mix: every level
+    // overflows, dirty victims cascade to DRAM, and the temporal
+    // prefetcher trains on the load misses.
+    for i in 0..65_536u64 {
+        b.store(0x400_100, 0x10_0000 + i * streamline_repro::tpsim::LINE_SIZE);
+        if i % 3 == 0 {
+            b.load(0x400_108, 0x10_0000 + (i / 5) * streamline_repro::tpsim::LINE_SIZE);
+        }
+    }
+    let plan = CorePlan::bare(b.finish()).with_temporal(Box::new(Streamline::new()));
+    Engine::new(SystemConfig::single_core(), vec![plan])
+        .warmup_fraction(0.0)
+        .run()
+}
+
+/// Compares `got` against the pinned dump in `tests/golden/<file>`, or
+/// regenerates the pin when `TPSIM_REGEN_GOLDEN=1` (for intentional,
+/// explained behaviour changes only — see the module docs).
+fn assert_or_regen(got: &str, want: &str, file: &str) {
+    if std::env::var_os("TPSIM_REGEN_GOLDEN").is_some_and(|v| v == "1") {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden")
+            .join(file);
+        std::fs::write(&path, got).expect("write regenerated golden dump");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    assert_eq!(got, want, "full counter dump moved ({file}):\n{got}");
+}
+
+#[test]
+fn multicore_full_counters_match_golden_snapshot() {
+    assert_or_regen(
+        &full_dump(&multicore_report()),
+        GOLDEN_MULTICORE,
+        "multicore.txt",
+    );
+}
+
+#[test]
+fn store_heavy_full_counters_match_golden_snapshot() {
+    assert_or_regen(
+        &full_dump(&store_heavy_report()),
+        GOLDEN_STORE_HEAVY,
+        "store_heavy.txt",
+    );
 }
 
 #[test]

@@ -1,0 +1,138 @@
+//! Equivalence suite for the allocation-free hot path (tpcheck).
+//!
+//! The demand-access path replaced `std::collections::HashMap` sidecars
+//! with fixed-capacity open-addressed [`LineMap`]s, converted the
+//! feedback/sample drains to swap-based scratch buffers, and rewrote
+//! the metadata-store victim scan in place. None of that may change a
+//! single simulated number. Three angles pin it:
+//!
+//! 1. **Model equivalence on real address streams** — a [`LineMap`]
+//!    driven by the inflight-table lifecycle (insert on fill, remove on
+//!    demand touch or eviction) over actual workload trace lines agrees
+//!    with a `HashMap` reference model at every step. (The adversarial
+//!    random-key version of this property lives with the table itself,
+//!    `crates/sim/src/table.rs`.)
+//! 2. **End-to-end audit** — random (workload, config) pairs with the
+//!    full prefetcher stack enabled (so the origin/inflight sidecars
+//!    and the partition reservation path all run) pass every
+//!    conservation law.
+//! 3. **Determinism** — the same random experiment run twice produces
+//!    byte-identical reports; open addressing introduced no iteration-
+//!    order or probe-order dependence into any counter.
+
+use std::collections::HashMap;
+use streamline_repro::prelude::*;
+use streamline_repro::tpsim::LineMap;
+use streamline_repro::tptrace::Mix;
+use tpcheck::{check, ensure, Gen};
+
+const L1_KINDS: [L1Kind; 3] = [L1Kind::None, L1Kind::Stride, L1Kind::Berti];
+const L2_KINDS: [L2Kind; 4] = [L2Kind::None, L2Kind::Ipcp, L2Kind::Bingo, L2Kind::SppPpf];
+
+/// A random experiment at test scale. Unlike the audit suite's
+/// generator, the temporal prefetcher is always on (any `None` config
+/// would leave the sidecar tables and the partition path idle).
+fn random_prefetching_experiment(g: &mut Gen) -> Experiment {
+    let temporal = [
+        TemporalKind::Ideal,
+        TemporalKind::Triage,
+        TemporalKind::Triangel,
+        TemporalKind::Streamline,
+    ][g.usize_in(0..4)];
+    let mut exp = Experiment::new(Scale::Test)
+        .l1(L1_KINDS[g.usize_in(0..L1_KINDS.len())])
+        .l2(L2_KINDS[g.usize_in(0..L2_KINDS.len())])
+        .temporal(temporal);
+    exp.warmup = [0.0, 0.2, 0.5][g.usize_in(0..3)];
+    exp
+}
+
+/// Everything in a report that a hot-path regression could move, as one
+/// comparable string (Debug output covers every counter field).
+fn report_fingerprint(r: &SimReport) -> String {
+    format!("{:?} {:?} {:?}", r.cores, r.llc, r.dram)
+}
+
+/// Angle 1: the open-addressed table agrees with `HashMap` when driven
+/// by the lifecycle the hierarchy actually subjects it to — keys are
+/// real trace lines (clustered, strided, looping), inserts happen on
+/// "fill", removals on "demand touch", and population stays bounded.
+#[test]
+fn linemap_matches_hashmap_on_real_address_streams() {
+    let pool = workloads::memory_intensive();
+    check("LineMap == HashMap on workload lines", 12, |g| {
+        let w = &pool[g.usize_in(0..pool.len())];
+        let trace = w.generate(Scale::Test);
+        let mut map: LineMap<u64> = LineMap::with_capacity_for(g.usize_in(1..256));
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (i, a) in trace.accesses().iter().enumerate().take(60_000) {
+            let line = a.addr.line();
+            let t = i as u64;
+            // Mimic the inflight lifecycle: first touch installs a
+            // record, the next touch of the same line resolves it.
+            if let std::collections::hash_map::Entry::Vacant(e) = reference.entry(line.0) {
+                let got = map.insert(line, t);
+                let want = { e.insert(t); None };
+                ensure!(got == want, "{}: insert({line:?}) {got:?} != {want:?}", w.name);
+            } else {
+                let got = map.remove(line);
+                let want = reference.remove(&line.0);
+                ensure!(got == want, "{}: remove({line:?}) {got:?} != {want:?}", w.name);
+            }
+            ensure!(map.len() == reference.len(), "population diverged");
+        }
+        let mut got: Vec<(u64, u64)> = map.iter().map(|(l, &v)| (l.0, v)).collect();
+        let mut want: Vec<(u64, u64)> = reference.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        ensure!(got == want, "{}: final contents diverged", w.name);
+        Ok(())
+    });
+}
+
+/// Angle 2: random (workload, config) pairs with prefetchers on pass
+/// the full conservation-law audit — the sidecar tables never lose or
+/// duplicate a record, or the fills/useful/useless balances would trip.
+#[test]
+fn prefetching_configs_pass_the_audit() {
+    let pool = workloads::memory_intensive();
+    check("audit passes with sidecar tables hot", 16, |g| {
+        let w = &pool[g.usize_in(0..pool.len())];
+        let exp = random_prefetching_experiment(g);
+        let r = run_single(w, &exp);
+        ensure!(
+            r.audit.passed(),
+            "audit failed for {} under {}:\n{}",
+            w.name,
+            exp.fingerprint(),
+            r.audit
+        );
+        ensure!(r.audit.checks > 0, "audit ran no checks");
+        Ok(())
+    });
+}
+
+/// Angle 3: repeat runs are byte-identical — no probe-order, iteration-
+/// order, or scratch-buffer state leaks into any reported number, even
+/// across multi-core mixes where cores share the LLC and DRAM.
+#[test]
+fn repeat_runs_are_byte_identical() {
+    let pool = workloads::memory_intensive();
+    check("hot path is deterministic", 6, |g| {
+        let exp = random_prefetching_experiment(g);
+        let names: Vec<String> = (0..g.usize_in(1..3))
+            .map(|_| pool[g.usize_in(0..pool.len())].name.to_string())
+            .collect();
+        let mix = Mix {
+            index: 0,
+            workloads: names
+                .iter()
+                .map(|n| workloads::by_name(n).expect("pool workload"))
+                .collect(),
+        };
+        let a = report_fingerprint(&run_mix(&mix, &exp));
+        let b = report_fingerprint(&run_mix(&mix, &exp));
+        ensure!(a == b, "{names:?} under {} diverged", exp.fingerprint());
+        Ok(())
+    });
+}

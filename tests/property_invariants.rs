@@ -113,8 +113,10 @@ fn filtering_is_content_independent() {
     check("filtering is content-independent", 64, |g| {
         let trigger = g.u64_in(0..1_000_000);
         let noise = g.vec(0..50, |g| g.u64_in(0..1_000_000));
-        let mut cfg = StreamlineConfig::default();
-        cfg.fixed_size = Some(PartitionSize::Half);
+        let cfg = StreamlineConfig {
+            fixed_size: Some(PartitionSize::Half),
+            ..Default::default()
+        };
         let empty = StreamStore::new(cfg);
         let before = empty.would_filter(Line(trigger));
         let mut full = StreamStore::new(cfg);

@@ -2,8 +2,8 @@
 //! sanity, prefetch accounting, and partition capacity effects.
 
 use streamline_repro::prelude::*;
-use streamline_repro::tpsim::{L2EventKind, MetaCtx, PartitionSpec, TemporalEvent};
-use streamline_repro::tptrace::record::{Line, Pc};
+use streamline_repro::tpsim::{MetaCtx, PartitionSpec, TemporalEvent};
+use streamline_repro::tptrace::record::Line;
 use streamline_repro::tptrace::TraceBuilder;
 
 /// A trace of `n` dependent loads over a repeated shuffled ring.
@@ -73,8 +73,8 @@ fn reserving_llc_capacity_costs_data_hits() {
             &mut self,
             _ctx: &mut MetaCtx,
             _ev: TemporalEvent,
-        ) -> Vec<Line> {
-            Vec::new()
+            _out: &mut Vec<Line>,
+        ) {
         }
         fn partition(&self) -> PartitionSpec {
             PartitionSpec::Ways { ways: 8 }

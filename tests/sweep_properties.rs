@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use streamline_repro::prelude::*;
 use streamline_repro::tpharness::sweep::{SweepJob, SweepRunner};
-use tpcheck::{check, ensure, Gen};
+use tpcheck::{check, ensure};
 
 /// `map` over an arbitrary item list with an arbitrary worker count
 /// returns exactly one output per item, in item order.
