@@ -27,6 +27,7 @@
 //! `micro_bench` binary.
 
 pub mod alloc_count;
+pub mod remote;
 
 use std::sync::OnceLock;
 use tpharness::baselines::{L1Kind, TemporalKind};
@@ -52,18 +53,10 @@ pub fn scale_from_args() -> Scale {
 
 /// Parses `--jobs=N` from argv. Falls back to the `TPSIM_JOBS`
 /// environment variable, then to the machine's available parallelism
-/// (both handled by [`SweepRunner::new`]).
+/// (both handled by [`SweepRunner::new`]). Thin alias for
+/// [`tpharness::jobs::jobs_flag`], the policy shared with `tpserve`.
 pub fn jobs_from_args() -> Option<usize> {
-    for a in std::env::args() {
-        if let Some(j) = a.strip_prefix("--jobs=") {
-            let n: usize = j
-                .parse()
-                .unwrap_or_else(|_| panic!("bad --jobs value {j:?} (want a positive integer)"));
-            assert!(n > 0, "--jobs must be at least 1");
-            return Some(n);
-        }
-    }
-    None
+    tpharness::jobs::jobs_flag()
 }
 
 /// Parses `--audit` from argv: when present, every simulation's
@@ -98,9 +91,26 @@ pub fn runner() -> &'static SweepRunner {
     })
 }
 
-/// Runs `pool` under `base` and `with` through the shared parallel
-/// [`runner`], returning paired results in pool order and printing one
-/// progress line per workload. Results are cached per
+/// Runs a batch of sweep jobs: through a `tpserve` instance when the
+/// `TPSIM_SERVER` environment variable names one (see [`remote`]),
+/// otherwise through the shared local [`runner`]. Reports come back in
+/// job order and are byte-identical either way — the server executes
+/// through the same sweep-runner path.
+pub fn run_jobs(jobs: &[SweepJob]) -> Vec<tpsim::SimReport> {
+    if let Some(addr) = remote::server_addr() {
+        eprintln!("  routing {} job(s) through tpserve at {addr}", jobs.len());
+        match remote::run_via_server(&addr, jobs) {
+            Ok(reports) => return reports,
+            Err(e) => eprintln!("  tpserve at {addr} unusable ({e}); running locally"),
+        }
+    }
+    runner().run(jobs)
+}
+
+/// Runs `pool` under `base` and `with` through [`run_jobs`] (server
+/// routing when enabled, the shared parallel [`runner`] otherwise),
+/// returning paired results in pool order and printing one progress
+/// line per workload. Results are cached per
 /// `(workload, experiment fingerprint)` within the process, so sweeps
 /// that revisit a configuration don't re-simulate it.
 pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> Vec<PairedRun> {
@@ -113,7 +123,7 @@ pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> V
             ]
         })
         .collect();
-    let reports = runner().run(&jobs);
+    let reports = run_jobs(&jobs);
     pool.iter()
         .zip(reports.chunks_exact(2))
         .map(|(w, pair)| {
@@ -134,15 +144,16 @@ pub fn paired_runs(pool: &[Workload], base: &Experiment, with: &Experiment) -> V
         .collect()
 }
 
-/// Runs every `(mix, experiment)` combination through the shared
-/// parallel [`runner`] and returns the reports grouped per mix, in
-/// submission order: `result[i][j]` is `mixes[i]` under `exps[j]`.
+/// Runs every `(mix, experiment)` combination through [`run_jobs`]
+/// (server routing when enabled) and returns the reports grouped per
+/// mix, in submission order: `result[i][j]` is `mixes[i]` under
+/// `exps[j]`.
 pub fn mix_runs(mixes: &[tptrace::Mix], exps: &[Experiment]) -> Vec<Vec<tpsim::SimReport>> {
     let jobs: Vec<SweepJob> = mixes
         .iter()
         .flat_map(|m| exps.iter().map(|e| SweepJob::mix(m.clone(), e.clone())))
         .collect();
-    let reports = runner().run(&jobs);
+    let reports = run_jobs(&jobs);
     reports
         .chunks_exact(exps.len().max(1))
         .map(|chunk| chunk.to_vec())

@@ -1,7 +1,7 @@
 //! Experiment descriptions and runners.
 
 use crate::baselines::{L1Kind, L2Kind, TemporalKind};
-use tpsim::{CorePlan, Engine, SimReport, SystemConfig};
+use tpsim::{CancelToken, CorePlan, Engine, SimReport, SystemConfig};
 use tptrace::{Mix, Scale, Workload};
 
 /// A complete experiment configuration: which prefetchers run at each
@@ -104,6 +104,28 @@ pub fn run_mix(mix: &Mix, exp: &Experiment) -> SimReport {
     Engine::new(exp.system(mix.cores()), plans)
         .warmup_fraction(exp.warmup)
         .run()
+}
+
+/// [`run_single`] with cooperative cancellation: returns `None` if the
+/// token is cancelled at an engine epoch boundary, otherwise exactly
+/// the report `run_single` would produce.
+pub fn run_single_cancellable(
+    workload: &Workload,
+    exp: &Experiment,
+    cancel: &CancelToken,
+) -> Option<SimReport> {
+    Engine::new(exp.system(1), vec![exp.plan(workload)])
+        .warmup_fraction(exp.warmup)
+        .run_with_cancel(cancel)
+}
+
+/// [`run_mix`] with cooperative cancellation (see
+/// [`run_single_cancellable`]).
+pub fn run_mix_cancellable(mix: &Mix, exp: &Experiment, cancel: &CancelToken) -> Option<SimReport> {
+    let plans: Vec<CorePlan> = mix.workloads.iter().map(|w| exp.plan(w)).collect();
+    Engine::new(exp.system(mix.cores()), plans)
+        .warmup_fraction(exp.warmup)
+        .run_with_cancel(cancel)
 }
 
 #[cfg(test)]

@@ -1,0 +1,70 @@
+//! Worker-count resolution shared by every parallel front end.
+//!
+//! The sweep runner, the `tpbench` figure binaries, and the `tpserve`
+//! simulation service all size their worker pools the same way:
+//! an explicit `--jobs=N` flag wins, then the `TPSIM_JOBS` environment
+//! variable, then the machine's available parallelism. This module is
+//! the single implementation of that policy (it used to be duplicated
+//! between `tpharness::sweep` and `tpbench`).
+
+/// Parses `--jobs=N` from the process arguments.
+///
+/// Returns `None` when the flag is absent.
+///
+/// # Panics
+/// Panics with a usage message when the value is not a positive
+/// integer — a malformed CLI flag is a user error, reported loudly.
+pub fn jobs_flag() -> Option<usize> {
+    for a in std::env::args() {
+        if let Some(j) = a.strip_prefix("--jobs=") {
+            let n: usize = j
+                .parse()
+                .unwrap_or_else(|_| panic!("bad --jobs value {j:?} (want a positive integer)"));
+            assert!(n > 0, "--jobs must be at least 1");
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Reads the `TPSIM_JOBS` environment variable, ignoring unset, empty,
+/// non-numeric, and zero values.
+pub fn jobs_env() -> Option<usize> {
+    std::env::var("TPSIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Resolves the worker count: `explicit` (a parsed `--jobs` flag or a
+/// service configuration knob) wins, then [`jobs_env`], then the
+/// machine's available parallelism; always at least 1.
+pub fn worker_count(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(jobs_env)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_absent_in_test_harness() {
+        // The test binary is not invoked with --jobs, so the flag parse
+        // must fall through to None rather than misreading other args.
+        assert_eq!(jobs_flag(), None);
+    }
+
+    #[test]
+    fn explicit_count_wins_and_is_clamped() {
+        assert_eq!(worker_count(Some(3)), 3);
+        assert_eq!(worker_count(Some(1)), 1);
+    }
+
+    #[test]
+    fn resolution_is_at_least_one() {
+        assert!(worker_count(None) >= 1);
+    }
+}

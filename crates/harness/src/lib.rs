@@ -8,7 +8,13 @@
 //! fans independent jobs out over a deterministic parallel sweep runner
 //! with result caching ([`sweep`]), aggregates speedup/coverage/
 //! accuracy/traffic metrics per suite ([`metrics`]), and prints
-//! paper-style tables ([`report`]).
+//! paper-style tables ([`report`]). Two infrastructure modules round it
+//! out: [`jobs`] is the single worker-count policy (`--jobs` /
+//! `TPSIM_JOBS` / available parallelism) shared by the sweep runner,
+//! the figure binaries, and the `tpserve` service, and [`wire`] is the
+//! dependency-free JSON-ish codec with a canonical byte-comparable
+//! [`SimReport`](tpsim::SimReport) encoding used by the service
+//! protocol.
 //!
 //! Every `tpbench` figure binary is a thin composition of these pieces.
 //!
@@ -28,9 +34,11 @@
 
 pub mod baselines;
 pub mod experiment;
+pub mod jobs;
 pub mod metrics;
 pub mod report;
 pub mod sweep;
+pub mod wire;
 
 pub use baselines::{L1Kind, L2Kind, TemporalKind};
 pub use experiment::{run_mix, run_single, Experiment};

@@ -27,11 +27,13 @@
 //! stride baseline, most commonly — is simulated once per process and
 //! every later request is served byte-identically from memory.
 
-use crate::experiment::{run_mix, run_single, Experiment};
+use crate::experiment::{
+    run_mix, run_mix_cancellable, run_single, run_single_cancellable, Experiment,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use tpsim::SimReport;
+use tpsim::{CancelToken, SimReport};
 use tptrace::rng::splitmix64;
 use tptrace::{Mix, Workload};
 
@@ -133,6 +135,33 @@ impl SweepJob {
             },
         }
     }
+
+    /// Runs the job with cooperative cancellation; `None` means the
+    /// token fired at an engine epoch boundary before completion. An
+    /// uncancelled run is byte-identical to [`SweepJob::run`].
+    fn run_with_cancel(&self, seeds: SeedMode, cancel: &CancelToken) -> Option<SimReport> {
+        match self {
+            SweepJob::Single { workload, exp } => match seeds {
+                SeedMode::Canonical => run_single_cancellable(workload, exp, cancel),
+                SeedMode::Derived(base) => {
+                    let w = workload.with_seed(derive_seed(base, workload.name));
+                    run_single_cancellable(&w, exp, cancel)
+                }
+            },
+            SweepJob::Mix { mix, exp } => match seeds {
+                SeedMode::Canonical => run_mix_cancellable(mix, exp, cancel),
+                SeedMode::Derived(base) => {
+                    let mut m = mix.clone();
+                    m.workloads = m
+                        .workloads
+                        .iter()
+                        .map(|w| w.with_seed(derive_seed(base, w.name)))
+                        .collect();
+                    run_mix_cancellable(&m, exp, cancel)
+                }
+            },
+        }
+    }
 }
 
 /// Deterministic parallel executor for sweep jobs (see module docs).
@@ -152,15 +181,10 @@ impl Default for SweepRunner {
 impl SweepRunner {
     /// Creates a runner with the default worker count: the `TPSIM_JOBS`
     /// environment variable if set, otherwise the machine's available
-    /// parallelism.
+    /// parallelism (see [`crate::jobs::worker_count`], the policy shared
+    /// with the figure binaries and the simulation server).
     pub fn new() -> Self {
-        let workers = std::env::var("TPSIM_JOBS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            });
+        let workers = crate::jobs::worker_count(None);
         SweepRunner {
             workers,
             seeds: SeedMode::Canonical,
@@ -254,6 +278,35 @@ impl SweepRunner {
     /// Runs one job (through the cache).
     pub fn run_one(&self, job: SweepJob) -> SimReport {
         self.run(std::slice::from_ref(&job)).remove(0)
+    }
+
+    /// Runs one job with cooperative cancellation, through the cache.
+    ///
+    /// A cached key is returned immediately (cancellation cannot fire —
+    /// nothing runs). Otherwise the job executes on the calling thread
+    /// with the engine polling `cancel` at epoch boundaries; `None`
+    /// means it was cancelled and **nothing was cached** (a later retry
+    /// re-simulates). An uncancelled result is inserted into the same
+    /// cache `run` uses, so server-side and batch execution share hits,
+    /// and is byte-identical to what `run_one` would have produced.
+    pub fn run_one_with_cancel(&self, job: &SweepJob, cancel: &CancelToken) -> Option<SimReport> {
+        let key = job.key();
+        if let Some(hit) = self.cache.lock().expect("sweep cache lock").get(&key) {
+            return Some(hit.clone());
+        }
+        let report = job.run_with_cancel(self.seeds, cancel)?;
+        if self.audit {
+            assert!(
+                report.audit.passed(),
+                "conservation-law audit failed for {key}:\n{}",
+                report.audit
+            );
+        }
+        self.cache
+            .lock()
+            .expect("sweep cache lock")
+            .insert(key, report.clone());
+        Some(report)
     }
 
     /// Low-level deterministic parallel map: applies `f` to every item
@@ -360,6 +413,27 @@ mod tests {
         assert_eq!(derive_seed(1, "gap.pr"), derive_seed(1, "gap.pr"));
         assert_ne!(derive_seed(1, "gap.pr"), derive_seed(2, "gap.pr"));
         assert_ne!(derive_seed(1, "gap.pr"), derive_seed(1, "gap.cc"));
+    }
+
+    #[test]
+    fn cancellable_run_matches_plain_run_and_skips_cache_on_cancel() {
+        let runner = SweepRunner::serial();
+        let j = job("gap.tc", TemporalKind::None);
+
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(runner.run_one_with_cancel(&j, &cancelled).is_none());
+        assert_eq!(runner.cached_jobs(), 0, "cancelled runs must not cache");
+
+        let live = CancelToken::new();
+        let via_cancel = runner.run_one_with_cancel(&j, &live).unwrap();
+        assert_eq!(runner.cached_jobs(), 1);
+        let direct = SweepRunner::serial().run_one(j.clone());
+        assert_eq!(via_cancel.cores[0].cycles, direct.cores[0].cycles);
+        assert_eq!(via_cancel.cores[0].l2.misses, direct.cores[0].l2.misses);
+
+        // A cached key ignores even a cancelled token.
+        assert!(runner.run_one_with_cancel(&j, &cancelled).is_some());
     }
 
     #[test]

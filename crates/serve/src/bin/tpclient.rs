@@ -1,0 +1,124 @@
+//! Command-line companion for `tpserve`.
+//!
+//! ```text
+//! tpclient ADDR ping
+//! tpclient ADDR stats
+//! tpclient ADDR submit '{"workload":"gap.bfs","scale":"test"}' [--no-wait]
+//! tpclient ADDR poll TICKET
+//! tpclient ADDR shutdown
+//! tpclient ADDR bench [JSON]
+//! ```
+//!
+//! `ADDR` is `host:port` or `unix:PATH`. Every command prints the
+//! server's JSON response on stdout; `bench` instead measures cold vs
+//! cache-hit service latency for one request (default: a test-scale
+//! Streamline run) and prints a small JSON summary for
+//! `scripts/bench_serve.sh`.
+
+use std::time::Instant;
+use tpharness::wire::{parse, Value};
+use tpserve::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpclient ADDR ping|stats|shutdown|poll TICKET|submit JSON [--no-wait]|bench [JSON]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("tpclient: {msg}");
+    std::process::exit(1);
+}
+
+const BENCH_DEFAULT: &str =
+    r#"{"workload":"spec06.mcf","scale":"test","l1":"stride","temporal":"streamline"}"#;
+
+/// Cache-hit repetitions for the requests/sec figure.
+const HIT_REPS: u32 = 200;
+
+fn bench(client: &mut Client, payload: &Value) {
+    // Cold: first submission simulates (unless the server already has
+    // this exact request cached — bench assumes a fresh server).
+    let t0 = Instant::now();
+    let cold = client
+        .submit_and_wait(payload)
+        .unwrap_or_else(|e| fail(&format!("bench submit failed: {e}")));
+    let cold_us = t0.elapsed().as_micros() as u64;
+    if cold.get("status").and_then(Value::as_str) != Some("done") {
+        fail(&format!("bench run did not complete: {}", cold.encode()));
+    }
+    let cold_was_cached = cold.get("cached").and_then(Value::as_bool) == Some(true);
+
+    // Hits: identical request, served from the response cache.
+    let t1 = Instant::now();
+    for _ in 0..HIT_REPS {
+        let hit = client
+            .submit_and_wait(payload)
+            .unwrap_or_else(|e| fail(&format!("bench hit failed: {e}")));
+        if hit.get("cached").and_then(Value::as_bool) != Some(true) {
+            fail("expected a cache hit on repeat submission");
+        }
+    }
+    let hits_total_us = t1.elapsed().as_micros() as u64;
+    let hit_us = (hits_total_us / u64::from(HIT_REPS)).max(1);
+    let hit_rps = 1_000_000.0 / hit_us as f64;
+    let speedup = cold_us as f64 / hit_us as f64;
+
+    let out = Value::Obj(vec![
+        ("request".into(), payload.clone()),
+        ("cold_us".into(), Value::u64(cold_us)),
+        ("cold_was_cached".into(), Value::Bool(cold_was_cached)),
+        ("hit_reps".into(), Value::u64(u64::from(HIT_REPS))),
+        ("hit_us".into(), Value::u64(hit_us)),
+        ("hit_rps".into(), Value::f64((hit_rps * 10.0).round() / 10.0)),
+        (
+            "cold_over_hit".into(),
+            Value::f64((speedup * 10.0).round() / 10.0),
+        ),
+    ]);
+    println!("{}", out.encode());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let addr = &args[0];
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+
+    let print = |v: Value| println!("{}", v.encode());
+    match args[1].as_str() {
+        "ping" => print(client.ping().unwrap_or_else(|e| fail(&e.to_string()))),
+        "stats" => print(client.stats().unwrap_or_else(|e| fail(&e.to_string()))),
+        "shutdown" => print(client.shutdown().unwrap_or_else(|e| fail(&e.to_string()))),
+        "poll" => {
+            let ticket = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage());
+            print(client.poll(ticket).unwrap_or_else(|e| fail(&e.to_string())));
+        }
+        "submit" => {
+            let json = args.get(2).unwrap_or_else(|| usage());
+            let payload =
+                parse(json).unwrap_or_else(|e| fail(&format!("bad request payload: {e}")));
+            let no_wait = args.iter().any(|a| a == "--no-wait");
+            let resp = if no_wait {
+                client.submit(&payload)
+            } else {
+                client.submit_and_wait(&payload)
+            };
+            print(resp.unwrap_or_else(|e| fail(&e.to_string())));
+        }
+        "bench" => {
+            let json = args.get(2).map(String::as_str).unwrap_or(BENCH_DEFAULT);
+            let payload =
+                parse(json).unwrap_or_else(|e| fail(&format!("bad bench payload: {e}")));
+            bench(&mut client, &payload);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,97 @@
+//! The simulation server daemon.
+//!
+//! ```text
+//! tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N] [--audit]
+//! ```
+//!
+//! Prints `tpserve: listening on ADDR` once ready (scripts parse this
+//! line to discover the bound port when `--listen` uses port 0).
+//! SIGTERM/SIGINT trigger the same graceful drain as a protocol
+//! `SHUTDOWN`: stop accepting, shed new submissions, finish in-flight
+//! and queued work, then exit.
+
+use std::io::Write;
+use std::sync::atomic::AtomicBool;
+use tpserve::{Server, ServerConfig, DEFAULT_QUEUE_CAPACITY};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::TERM;
+    use std::sync::atomic::Ordering;
+
+    // std links libc on every supported Unix; declaring `signal`
+    // directly keeps the workspace dependency-free.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N] [--audit]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spec = String::from("127.0.0.1:0");
+    let mut cfg = ServerConfig {
+        workers: tpharness::jobs::worker_count(tpharness::jobs::jobs_flag()),
+        queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        ..Default::default()
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--listen=") {
+            spec = v.to_string();
+        } else if let Some(v) = arg.strip_prefix("--socket=") {
+            spec = format!("unix:{v}");
+        } else if let Some(v) = arg.strip_prefix("--queue=") {
+            cfg.queue_capacity = v
+                .parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| usage());
+        } else if arg == "--audit" {
+            cfg.audit = true;
+        } else if arg.starts_with("--jobs=") {
+            // Parsed by tpharness::jobs::jobs_flag above.
+        } else {
+            usage();
+        }
+    }
+
+    #[cfg(unix)]
+    sig::install();
+
+    let server = match Server::bind(&spec, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tpserve: cannot bind {spec}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tpserve: listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    if let Err(e) = server.run_until(&TERM) {
+        eprintln!("tpserve: accept loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("tpserve: drained, exiting");
+}

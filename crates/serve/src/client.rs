@@ -1,0 +1,138 @@
+//! Client side of the service protocol.
+//!
+//! [`Client`] is used three ways: by the `tpclient` binary, by the
+//! integration tests, and by `tpbench`'s optional `TPSIM_SERVER`
+//! routing. It is deliberately thin — one blocking request/response
+//! round-trip per call, plus a poll loop for waiting on tickets.
+
+use crate::conn::Conn;
+use crate::protocol::read_frame;
+use std::io::{self, BufReader, Write};
+use std::time::Duration;
+use tpharness::wire::{self, Value};
+
+/// How long [`Client::wait`] sleeps between polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// A blocking protocol client over TCP (`host:port`) or a Unix-domain
+/// socket (`unix:PATH`).
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+    scratch: Vec<u8>,
+}
+
+fn data_err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects to a server (see [`crate::Server::addr`] for the format).
+    ///
+    /// # Errors
+    /// Connection errors.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let conn = Conn::connect(addr)?;
+        let writer = conn.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(conn),
+            writer,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Sends one protocol line and reads the one-line response.
+    ///
+    /// # Errors
+    /// I/O errors, unexpected EOF, or an unparseable response.
+    pub fn request(&mut self, line: &str) -> io::Result<Value> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader, &mut self.scratch)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(resp) => {
+                wire::parse(&resp).map_err(|e| data_err(format!("bad response: {e}: {resp:.120}")))
+            }
+        }
+    }
+
+    /// `PING`.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> io::Result<Value> {
+        self.request("PING")
+    }
+
+    /// `STATS`.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> io::Result<Value> {
+        self.request("STATS")
+    }
+
+    /// `SHUTDOWN`: blocks until the server has drained every accepted
+    /// request, then returns its final acknowledgement.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> io::Result<Value> {
+        self.request("SHUTDOWN")
+    }
+
+    /// `SUBMIT` with a JSON payload; returns the immediate response
+    /// (`done` for cache hits, `queued`, `rejected`, or `error`).
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn submit(&mut self, payload: &Value) -> io::Result<Value> {
+        self.request(&format!("SUBMIT {}", payload.encode()))
+    }
+
+    /// `POLL` one ticket.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn poll(&mut self, ticket: u64) -> io::Result<Value> {
+        self.request(&format!("POLL {ticket}"))
+    }
+
+    /// Polls `ticket` until it reaches a terminal state (`done`,
+    /// `deadline-exceeded`, `failed`, or `error`).
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn wait(&mut self, ticket: u64) -> io::Result<Value> {
+        loop {
+            let resp = self.poll(ticket)?;
+            match resp.get("status").and_then(Value::as_str) {
+                Some("queued") | Some("running") => std::thread::sleep(POLL_INTERVAL),
+                _ => return Ok(resp),
+            }
+        }
+    }
+
+    /// Submits and, if the request was queued, waits for its terminal
+    /// state. Rejections and errors come back as-is.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn submit_and_wait(&mut self, payload: &Value) -> io::Result<Value> {
+        let resp = self.submit(payload)?;
+        match resp.get("status").and_then(Value::as_str) {
+            Some("queued") => {
+                let ticket = resp
+                    .get("ticket")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| data_err("queued response without a ticket"))?;
+                self.wait(ticket)
+            }
+            _ => Ok(resp),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! A tiny stream abstraction so the server, client, and tests share one
+//! code path over TCP and Unix-domain sockets.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected byte stream (TCP or Unix-domain).
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Connects to `addr`: `unix:PATH` selects a Unix-domain socket,
+    /// anything else is a TCP `host:port`.
+    pub(crate) fn connect(addr: &str) -> io::Result<Conn> {
+        if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                return Ok(Conn::Unix(UnixStream::connect(path)?));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        }
+        Ok(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Conn> {
+        Ok(match self {
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+        })
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Log-bucket latency histogram for the service's live stats.
+//!
+//! Service times span five orders of magnitude (a cache hit is
+//! microseconds, a Full-scale mix is seconds), so the stats endpoint
+//! reports quantiles from a fixed 64-bucket power-of-two histogram
+//! rather than a raw sample list: constant memory, O(1) record, and no
+//! allocation on the request path.
+
+/// Power-of-two-bucketed histogram over `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `b > 0` holds values in
+/// `[2^(b-1), 2^b - 1]`. Quantile queries return the **upper bound** of
+/// the bucket containing the requested rank, i.e. a conservative
+/// (never-underestimating) latency within a factor of two of the true
+/// quantile.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    fn bucket(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(63)
+        }
+    }
+
+    fn upper_bound(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            63 => u64::MAX,
+            b => (1u64 << b) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket(value)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket holding that rank; `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::upper_bound(b);
+            }
+        }
+        Self::upper_bound(63)
+    }
+
+    /// Median (see [`LogHistogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (see [`LogHistogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn buckets_cover_the_full_range() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.01), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_within_2x() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        // True median is 500; bucket upper bound is 511.
+        assert!((500..1000).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        // True p99 is 990; bucket upper bound is 1023.
+        assert!((990..1980).contains(&p99), "p99 = {p99}");
+        // Never underestimates, at most 2x over.
+        assert!((500..1000).contains(&p50));
+        assert!((990..1980).contains(&p99));
+    }
+
+    #[test]
+    fn skewed_distribution_separates_p50_and_p99() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // fast cache hits
+        }
+        h.record(1_000_000); // one slow simulation
+        assert!(h.p50() < 256);
+        assert!(h.p99() < 256, "99/100 samples are fast");
+        assert!(h.quantile(1.0) >= 1_000_000);
+    }
+}

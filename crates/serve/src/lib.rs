@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # tpserve — a dependency-free simulation service
+//!
+//! Long experiment campaigns re-run the same simulator configurations
+//! over and over (sweeps share baselines, figures share contenders,
+//! people share machines). `tpserve` keeps one process warm and turns
+//! experiment execution into a service:
+//!
+//! * **Protocol**: newline-delimited, length-checked JSON-ish lines
+//!   over a Unix-domain or TCP socket ([`protocol`]); verbs are
+//!   `SUBMIT`, `POLL`, `STATS`, `PING`, `SHUTDOWN`.
+//! * **Execution**: a worker pool layered on the deterministic
+//!   [`SweepRunner`](tpharness::sweep::SweepRunner), so a served report
+//!   is **byte-identical** to the same experiment run directly through
+//!   the CLI (the integration tests compare canonical encodings).
+//! * **Caching**: responses are content-addressed by the canonical
+//!   request string; a repeat request returns synchronously without
+//!   touching the queue or the simulator.
+//! * **Backpressure**: a bounded queue with explicit load shedding —
+//!   a full queue rejects with a structured `queue-full` reason instead
+//!   of buffering unboundedly or blocking the socket.
+//! * **Deadlines**: per-request `deadline_ms` with cooperative
+//!   cancellation at engine epoch boundaries (see [`tpsim::CancelToken`]).
+//! * **Drain**: `SHUTDOWN` (or SIGTERM in the binary) stops accepting,
+//!   sheds new submissions, finishes every accepted request, and only
+//!   then replies — no response is ever lost to a shutdown.
+//!
+//! The `tpserve` binary runs the server; the `tpclient` binary (and the
+//! [`client::Client`] library type it wraps) submits work, polls
+//! tickets, fetches stats, and benchmarks cold-vs-cached latency.
+//!
+//! ## In-process example
+//!
+//! ```
+//! use tpserve::{Client, Server, ServerConfig};
+//! use tpharness::wire::parse;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.addr().to_string();
+//! let handle = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut c = Client::connect(&addr).unwrap();
+//! let req = parse(r#"{"workload":"gap.bfs","scale":"test","temporal":"streamline"}"#).unwrap();
+//! let resp = c.submit_and_wait(&req).unwrap();
+//! assert_eq!(resp.get("status").unwrap().as_str(), Some("done"));
+//! assert!(resp.get("report").is_some());
+//!
+//! c.shutdown().unwrap();
+//! drop(c); // disconnect so the server's handler thread exits promptly
+//! handle.join().unwrap();
+//! ```
+
+mod conn;
+
+pub mod client;
+pub mod hist;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use hist::LogHistogram;
+pub use protocol::{Request, MAX_LINE_BYTES};
+pub use server::{Controller, Server, ServerConfig, DEFAULT_QUEUE_CAPACITY};

@@ -1,0 +1,928 @@
+//! The service itself: bounded queue, worker pool, response cache,
+//! deadlines, live stats, and graceful drain.
+//!
+//! ## Architecture
+//!
+//! One [`Server`] owns a listening socket and an [`Arc<Service>`]. The
+//! accept loop hands each connection to a handler thread that speaks
+//! the line protocol; handlers only touch the shared [`Service`], which
+//! serializes all state behind three locks:
+//!
+//! * the **queue state** (bounded ticket queue + in-flight count +
+//!   pause/drain/stop latches) under one mutex with one condvar, so
+//!   load shedding, worker wakeup, and drain waiting can never miss a
+//!   notification;
+//! * the **ticket table** (request lifecycle: queued → running →
+//!   done/deadline-exceeded/failed);
+//! * the **response cache**, keyed by the full canonical request string
+//!   (the FNV hash clients see is display-only, so hash collisions
+//!   cannot alias results).
+//!
+//! Workers execute through a shared serial
+//! [`SweepRunner`](tpharness::sweep::SweepRunner), which supplies the
+//! canonical execution path (results byte-identical to direct CLI runs)
+//! plus a second, config-level cache shared across requests; the
+//! server's own pool supplies the concurrency. Seed-overriding requests
+//! bypass the sweep runner — its cache key deliberately ignores seeds —
+//! and run through the cancellable experiment runners directly.
+//!
+//! Cancellation is cooperative and epoch-granular: a deadline monitor
+//! flips the ticket's [`CancelToken`] and the engine notices at its
+//! next epoch boundary (every [`tpsim::CANCEL_EPOCH`] accesses). The
+//! simulator's hot loop stays branch-cheap and the abandoned run
+//! leaves no partial state anywhere (cancelled runs cache nothing).
+
+use crate::conn::Conn;
+use crate::hist::LogHistogram;
+use crate::protocol::{read_frame, Request};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tpharness::experiment::run_single_cancellable;
+use tpharness::sweep::SweepRunner;
+use tpharness::wire::{self, encode_sim_report, Value};
+use tpsim::CancelToken;
+
+/// Default bounded-queue capacity.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// How long idle handler threads linger after shutdown completes, so
+/// clients can still collect responses for drained work.
+const SHUTDOWN_LINGER: Duration = Duration::from_secs(2);
+
+/// Handler read-timeout tick; bounds how fast handlers notice shutdown.
+const HANDLER_TICK: Duration = Duration::from_millis(100);
+
+/// Deadline monitor scan interval.
+const MONITOR_TICK: Duration = Duration::from_millis(2);
+
+/// Accept-loop poll interval (the listener is non-blocking so the loop
+/// can watch the shutdown latches).
+const ACCEPT_TICK: Duration = Duration::from_millis(10);
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads; `0` means the shared policy
+    /// ([`tpharness::jobs::worker_count`]).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Reject results whose conservation-law audit fails, even when the
+    /// request didn't ask for auditing.
+    pub audit: bool,
+    /// Start with the queue paused (test hook: lets a test fill the
+    /// queue deterministically before any worker pops).
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            audit: false,
+            start_paused: false,
+        }
+    }
+}
+
+enum TicketState {
+    Queued,
+    Running,
+    Done { cached: bool },
+    DeadlineExceeded,
+    Failed(String),
+}
+
+struct Ticket {
+    request: Request,
+    canonical: String,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    accepted: Instant,
+    state: TicketState,
+    /// Canonical encoded report, once done.
+    report: Option<String>,
+}
+
+struct QueueState {
+    queue: VecDeque<u64>,
+    in_flight: usize,
+    paused: bool,
+    draining: bool,
+    stop: bool,
+}
+
+struct Counters {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    simulations: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+}
+
+pub(crate) struct Service {
+    cfg: ServerConfig,
+    workers: usize,
+    runner: SweepRunner,
+    qs: Mutex<QueueState>,
+    qcv: Condvar,
+    tickets: Mutex<HashMap<u64, Ticket>>,
+    next_ticket: AtomicU64,
+    cache: Mutex<HashMap<String, String>>,
+    counters: Counters,
+    hist: Mutex<LogHistogram>,
+    accept_stop: AtomicBool,
+    started: Instant,
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn status_err(reason: impl Into<String>) -> Value {
+    obj(vec![
+        ("status", Value::Str("error".into())),
+        ("reason", Value::Str(reason.into())),
+    ])
+}
+
+impl Service {
+    fn new(cfg: ServerConfig) -> Arc<Service> {
+        let workers = if cfg.workers == 0 {
+            tpharness::jobs::worker_count(None)
+        } else {
+            cfg.workers
+        };
+        let paused = cfg.start_paused;
+        Arc::new(Service {
+            cfg,
+            workers,
+            // Serial runner: the service's own pool is the parallelism;
+            // auditing is enforced per-request below (a panic inside
+            // the runner would kill a worker instead of rejecting).
+            runner: SweepRunner::serial().with_audit(false),
+            qs: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                paused,
+                draining: false,
+                stop: false,
+            }),
+            qcv: Condvar::new(),
+            tickets: Mutex::new(HashMap::new()),
+            next_ticket: AtomicU64::new(1),
+            cache: Mutex::new(HashMap::new()),
+            counters: Counters {
+                served: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+                simulations: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+            },
+            hist: Mutex::new(LogHistogram::new()),
+            accept_stop: AtomicBool::new(false),
+            started: Instant::now(),
+        })
+    }
+
+    fn key_hex(canonical: &str) -> String {
+        format!("{:016x}", wire::fnv1a(canonical.as_bytes()))
+    }
+
+    /// Embeds an already-encoded report into a response object without
+    /// losing its canonical bytes (parse → Value keeps literals intact).
+    fn report_value(encoded: &str) -> Value {
+        wire::parse(encoded).unwrap_or_else(|_| Value::Str(encoded.to_string()))
+    }
+
+    fn done_response(&self, ticket: u64, canonical: &str, cached: bool, encoded: &str) -> Value {
+        obj(vec![
+            ("status", Value::Str("done".into())),
+            ("ticket", Value::u64(ticket)),
+            ("key", Value::Str(Self::key_hex(canonical))),
+            ("cached", Value::Bool(cached)),
+            ("report", Self::report_value(encoded)),
+        ])
+    }
+
+    fn record_service_time(&self, accepted: Instant) {
+        let us = accepted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.hist.lock().expect("hist lock").record(us);
+    }
+
+    /// Handles `SUBMIT`: cache-hit fast path, load shedding, or enqueue.
+    fn submit(&self, request: Request) -> Value {
+        let canonical = request.canonical();
+        let accepted = Instant::now();
+
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("response cache lock")
+            .get(&canonical)
+            .cloned()
+        {
+            // Cache hit: answered synchronously, no queue slot consumed,
+            // no simulation run.
+            let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+            let cancel = CancelToken::new();
+            self.tickets.lock().expect("ticket lock").insert(
+                id,
+                Ticket {
+                    request,
+                    canonical: canonical.clone(),
+                    cancel,
+                    deadline: None,
+                    accepted,
+                    state: TicketState::Done { cached: true },
+                    report: Some(hit.clone()),
+                },
+            );
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.served.fetch_add(1, Ordering::Relaxed);
+            self.record_service_time(accepted);
+            return self.done_response(id, &canonical, true, &hit);
+        }
+
+        let deadline = request
+            .deadline_ms
+            .map(|ms| accepted + Duration::from_millis(ms));
+
+        let mut qs = self.qs.lock().expect("queue lock");
+        if qs.draining || self.accept_stop.load(Ordering::SeqCst) {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return obj(vec![
+                ("status", Value::Str("rejected".into())),
+                ("reason", Value::Str("shutting-down".into())),
+            ]);
+        }
+        if qs.queue.len() >= self.cfg.queue_capacity {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return obj(vec![
+                ("status", Value::Str("rejected".into())),
+                ("reason", Value::Str("queue-full".into())),
+                ("queue_depth", Value::u64(qs.queue.len() as u64)),
+                ("queue_capacity", Value::u64(self.cfg.queue_capacity as u64)),
+            ]);
+        }
+
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.tickets.lock().expect("ticket lock").insert(
+            id,
+            Ticket {
+                request,
+                canonical: canonical.clone(),
+                cancel: CancelToken::new(),
+                deadline,
+                accepted,
+                state: TicketState::Queued,
+                report: None,
+            },
+        );
+        qs.queue.push_back(id);
+        let depth = qs.queue.len();
+        drop(qs);
+        self.qcv.notify_one();
+        obj(vec![
+            ("status", Value::Str("queued".into())),
+            ("ticket", Value::u64(id)),
+            ("key", Value::Str(Self::key_hex(&canonical))),
+            ("queue_depth", Value::u64(depth as u64)),
+        ])
+    }
+
+    fn poll(&self, id: u64) -> Value {
+        let tickets = self.tickets.lock().expect("ticket lock");
+        let Some(t) = tickets.get(&id) else {
+            return status_err(format!("unknown ticket {id}"));
+        };
+        match &t.state {
+            TicketState::Queued => obj(vec![
+                ("status", Value::Str("queued".into())),
+                ("ticket", Value::u64(id)),
+            ]),
+            TicketState::Running => obj(vec![
+                ("status", Value::Str("running".into())),
+                ("ticket", Value::u64(id)),
+            ]),
+            TicketState::Done { cached } => {
+                let encoded = t.report.as_deref().expect("done tickets carry a report");
+                self.done_response(id, &t.canonical, *cached, encoded)
+            }
+            TicketState::DeadlineExceeded => obj(vec![
+                ("status", Value::Str("deadline-exceeded".into())),
+                ("ticket", Value::u64(id)),
+            ]),
+            TicketState::Failed(reason) => obj(vec![
+                ("status", Value::Str("failed".into())),
+                ("ticket", Value::u64(id)),
+                ("reason", Value::Str(reason.clone())),
+            ]),
+        }
+    }
+
+    fn stats(&self) -> Value {
+        let (depth, in_flight) = {
+            let qs = self.qs.lock().expect("queue lock");
+            (qs.queue.len(), qs.in_flight)
+        };
+        let hist = self.hist.lock().expect("hist lock").clone();
+        let c = &self.counters;
+        obj(vec![
+            ("status", Value::Str("ok".into())),
+            (
+                "stats",
+                obj(vec![
+                    ("queue_depth", Value::u64(depth as u64)),
+                    ("in_flight", Value::u64(in_flight as u64)),
+                    ("workers", Value::u64(self.workers as u64)),
+                    ("queue_capacity", Value::u64(self.cfg.queue_capacity as u64)),
+                    ("served", Value::u64(c.served.load(Ordering::Relaxed))),
+                    ("rejected", Value::u64(c.rejected.load(Ordering::Relaxed))),
+                    ("errors", Value::u64(c.errors.load(Ordering::Relaxed))),
+                    ("cache_hits", Value::u64(c.cache_hits.load(Ordering::Relaxed))),
+                    ("simulations", Value::u64(c.simulations.load(Ordering::Relaxed))),
+                    ("cancelled", Value::u64(c.cancelled.load(Ordering::Relaxed))),
+                    ("failed", Value::u64(c.failed.load(Ordering::Relaxed))),
+                    (
+                        "cache_entries",
+                        Value::u64(self.cache.lock().expect("response cache lock").len() as u64),
+                    ),
+                    (
+                        "sweep_cache_entries",
+                        Value::u64(self.runner.cached_jobs() as u64),
+                    ),
+                    (
+                        "service_time_us",
+                        obj(vec![
+                            ("count", Value::u64(hist.count())),
+                            ("p50", Value::u64(hist.p50())),
+                            ("p99", Value::u64(hist.p99())),
+                        ]),
+                    ),
+                    (
+                        "uptime_ms",
+                        Value::u64(self.started.elapsed().as_millis().min(u128::from(u64::MAX))
+                            as u64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Blocks until the queue is empty and nothing is in flight; new
+    /// submissions are shed with `shutting-down` from the moment this
+    /// is called. Idempotent. Returns the number of requests served.
+    fn drain(&self) -> u64 {
+        let mut qs = self.qs.lock().expect("queue lock");
+        qs.draining = true;
+        self.qcv.notify_all();
+        while !(qs.queue.is_empty() && qs.in_flight == 0) {
+            qs = self.qcv.wait(qs).expect("queue lock");
+        }
+        self.counters.served.load(Ordering::Relaxed)
+    }
+
+    fn set_paused(&self, paused: bool) {
+        self.qs.lock().expect("queue lock").paused = paused;
+        self.qcv.notify_all();
+    }
+
+    /// True once shutdown is requested *and* the drain has finished.
+    fn finished(&self) -> bool {
+        if !self.accept_stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        let qs = self.qs.lock().expect("queue lock");
+        qs.queue.is_empty() && qs.in_flight == 0
+    }
+
+    fn stop_workers(&self) {
+        self.qs.lock().expect("queue lock").stop = true;
+        self.qcv.notify_all();
+    }
+
+    // --- worker pool -------------------------------------------------
+
+    fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let id = {
+                let mut qs = self.qs.lock().expect("queue lock");
+                loop {
+                    if qs.stop {
+                        return;
+                    }
+                    if !qs.paused {
+                        if let Some(id) = qs.queue.pop_front() {
+                            qs.in_flight += 1;
+                            break id;
+                        }
+                    }
+                    qs = self.qcv.wait(qs).expect("queue lock");
+                }
+            };
+            self.execute(id);
+            let mut qs = self.qs.lock().expect("queue lock");
+            qs.in_flight -= 1;
+            drop(qs);
+            // Wake drain waiters as well as idle siblings.
+            self.qcv.notify_all();
+        }
+    }
+
+    fn execute(&self, id: u64) {
+        let (request, canonical, cancel, deadline, accepted) = {
+            let mut tickets = self.tickets.lock().expect("ticket lock");
+            let t = tickets.get_mut(&id).expect("queued ticket exists");
+            t.state = TicketState::Running;
+            (
+                t.request.clone(),
+                t.canonical.clone(),
+                t.cancel.clone(),
+                t.deadline,
+                t.accepted,
+            )
+        };
+
+        let set_state = |state: TicketState, report: Option<String>| {
+            let mut tickets = self.tickets.lock().expect("ticket lock");
+            let t = tickets.get_mut(&id).expect("running ticket exists");
+            t.state = state;
+            t.report = report;
+        };
+
+        // Expired while queued: don't start a doomed run.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            set_state(TicketState::DeadlineExceeded, None);
+            return;
+        }
+
+        // An identical request may have completed while this one queued.
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("response cache lock")
+            .get(&canonical)
+            .cloned()
+        {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.served.fetch_add(1, Ordering::Relaxed);
+            self.record_service_time(accepted);
+            set_state(TicketState::Done { cached: true }, Some(hit));
+            return;
+        }
+
+        let result = match request.sweep_job() {
+            Some(job) => self.runner.run_one_with_cancel(&job, &cancel),
+            None => {
+                // Seed override: run outside the sweep runner (its cache
+                // key ignores seeds; see Request::sweep_job).
+                let seed = request.seed.expect("jobless requests carry a seed");
+                match &request.target {
+                    crate::protocol::Target::Single(w) => {
+                        run_single_cancellable(&w.with_seed(seed), &request.experiment(), &cancel)
+                    }
+                    crate::protocol::Target::MixOf { .. } => {
+                        unreachable!("validation rejects seeded mixes")
+                    }
+                }
+            }
+        };
+
+        match result {
+            None => {
+                self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                set_state(TicketState::DeadlineExceeded, None);
+            }
+            Some(report) => {
+                self.counters.simulations.fetch_add(1, Ordering::Relaxed);
+                if (self.cfg.audit || request.audit) && !report.audit.passed() {
+                    self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    set_state(
+                        TicketState::Failed("conservation-law audit failed".into()),
+                        None,
+                    );
+                    return;
+                }
+                let encoded = encode_sim_report(&report);
+                self.cache
+                    .lock()
+                    .expect("response cache lock")
+                    .insert(canonical, encoded.clone());
+                self.counters.served.fetch_add(1, Ordering::Relaxed);
+                self.record_service_time(accepted);
+                set_state(TicketState::Done { cached: false }, Some(encoded));
+            }
+        }
+    }
+
+    // --- deadline monitor --------------------------------------------
+
+    fn monitor_loop(&self) {
+        loop {
+            {
+                let qs = self.qs.lock().expect("queue lock");
+                if qs.stop {
+                    return;
+                }
+            }
+            let now = Instant::now();
+            {
+                let tickets = self.tickets.lock().expect("ticket lock");
+                for t in tickets.values() {
+                    if matches!(t.state, TicketState::Running)
+                        && t.deadline.is_some_and(|d| now >= d)
+                    {
+                        t.cancel.cancel();
+                    }
+                }
+            }
+            std::thread::sleep(MONITOR_TICK);
+        }
+    }
+
+    // --- protocol dispatch -------------------------------------------
+
+    /// Handles one protocol line. `SHUTDOWN` blocks until the drain
+    /// completes and flips `accept_stop` before replying, so a shutdown
+    /// response in hand means every accepted request has finished.
+    fn dispatch(&self, line: &str) -> Value {
+        let line = line.trim();
+        let (verb, rest) = match line.find(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => (line, ""),
+        };
+        match verb {
+            "PING" => obj(vec![
+                ("status", Value::Str("ok".into())),
+                ("pong", Value::Bool(true)),
+            ]),
+            "STATS" => self.stats(),
+            "SUBMIT" => {
+                let parsed = wire::parse(rest).and_then(|v| Request::from_value(&v));
+                match parsed {
+                    Ok(req) => self.submit(req),
+                    Err(reason) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        status_err(format!("invalid request: {reason}"))
+                    }
+                }
+            }
+            "POLL" => match rest.parse::<u64>() {
+                Ok(id) => self.poll(id),
+                Err(_) => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    status_err("POLL needs a ticket number")
+                }
+            },
+            "SHUTDOWN" => {
+                let served = self.drain();
+                self.accept_stop.store(true, Ordering::SeqCst);
+                obj(vec![
+                    ("status", Value::Str("ok".into())),
+                    ("draining", Value::Bool(true)),
+                    ("served", Value::u64(served)),
+                ])
+            }
+            other => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                status_err(format!(
+                    "unknown verb {other:?} (SUBMIT|POLL|STATS|PING|SHUTDOWN)"
+                ))
+            }
+        }
+    }
+
+    fn handle_connection(self: Arc<Self>, conn: Conn) {
+        let _ = conn.set_read_timeout(Some(HANDLER_TICK));
+        let mut writer = match conn.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let mut reader = BufReader::new(conn);
+        let mut scratch = Vec::new();
+        let mut last_activity = Instant::now();
+        loop {
+            match read_frame(&mut reader, &mut scratch) {
+                Ok(None) => return, // client hung up
+                Ok(Some(line)) => {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    last_activity = Instant::now();
+                    let mut out = self.dispatch(&line).encode();
+                    out.push('\n');
+                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+                        return;
+                    }
+                }
+                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    // Idle tick: after shutdown completes, linger briefly
+                    // so clients can still collect responses, then close.
+                    if self.finished() && last_activity.elapsed() > SHUTDOWN_LINGER {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    // Oversized line / bad UTF-8 / hard I/O error: tell
+                    // the client if possible, then drop the connection
+                    // (framing is unrecoverable).
+                    let mut out = status_err(e.to_string()).encode();
+                    out.push('\n');
+                    let _ = writer.write_all(out.as_bytes());
+                    return;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener + accept loop
+// ---------------------------------------------------------------------
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix { listener: UnixListener, path: PathBuf },
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    service: Arc<Service>,
+    listener: ListenerKind,
+    addr: String,
+}
+
+/// Test/control handle onto a running (or about-to-run) server.
+#[derive(Clone)]
+pub struct Controller {
+    service: Arc<Service>,
+}
+
+impl Controller {
+    /// Releases a paused queue (see [`ServerConfig::start_paused`]).
+    pub fn resume(&self) {
+        self.service.set_paused(false);
+    }
+
+    /// Pauses the queue: queued work stays queued, running work finishes.
+    pub fn pause(&self) {
+        self.service.set_paused(true);
+    }
+
+    /// Current queue depth (tickets waiting, excluding in-flight).
+    pub fn queue_depth(&self) -> usize {
+        self.service.qs.lock().expect("queue lock").queue.len()
+    }
+}
+
+impl Server {
+    /// Binds to `spec`: `unix:PATH` for a Unix-domain socket, otherwise
+    /// a TCP `host:port` (port `0` picks a free port; see
+    /// [`Server::addr`] for the resolved address).
+    ///
+    /// # Errors
+    /// Socket binding errors (address in use, bad path, ...).
+    pub fn bind(spec: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let service = Service::new(cfg);
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let pb = PathBuf::from(path);
+                // A stale socket file from a dead server blocks rebinding.
+                let _ = std::fs::remove_file(&pb);
+                let listener = UnixListener::bind(&pb)?;
+                return Ok(Server {
+                    service,
+                    addr: format!("unix:{path}"),
+                    listener: ListenerKind::Unix { listener, path: pb },
+                });
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        }
+        let listener = TcpListener::bind(spec)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok(Server {
+            service,
+            addr,
+            listener: ListenerKind::Tcp(listener),
+        })
+    }
+
+    /// The resolved listen address, connectable by
+    /// [`Client::connect`](crate::client::Client::connect).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// A control handle (pause/resume) usable from other threads.
+    pub fn controller(&self) -> Controller {
+        Controller {
+            service: Arc::clone(&self.service),
+        }
+    }
+
+    /// Runs until a `SHUTDOWN` request completes. Equivalent to
+    /// [`Server::run_until`] with a flag that never fires.
+    ///
+    /// # Errors
+    /// Fatal accept-loop I/O errors.
+    pub fn run(self) -> io::Result<()> {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    /// Runs until either a `SHUTDOWN` request completes or `term`
+    /// becomes true (e.g. from a SIGTERM handler); the external path
+    /// performs the same graceful drain — stop accepting, shed new
+    /// submissions, finish in-flight work — before returning.
+    ///
+    /// # Errors
+    /// Fatal accept-loop I/O errors.
+    pub fn run_until(self, term: &AtomicBool) -> io::Result<()> {
+        let Server {
+            service,
+            listener,
+            addr: _,
+        } = self;
+        match &listener {
+            ListenerKind::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            ListenerKind::Unix { listener: l, .. } => l.set_nonblocking(true)?,
+        }
+
+        let mut pool = Vec::new();
+        for i in 0..service.workers {
+            let svc = Arc::clone(&service);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("tpserve-worker-{i}"))
+                    .spawn(move || svc.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        let monitor = {
+            let svc = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("tpserve-deadline".into())
+                .spawn(move || svc.monitor_loop())
+                .expect("spawn deadline monitor")
+        };
+
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            let accepted: Option<Conn> = match &listener {
+                ListenerKind::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Some(Conn::Tcp(s)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+                #[cfg(unix)]
+                ListenerKind::Unix { listener: l, .. } => match l.accept() {
+                    Ok((s, _)) => Some(Conn::Unix(s)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match accepted {
+                Some(conn) => {
+                    let svc = Arc::clone(&service);
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("tpserve-conn".into())
+                            .spawn(move || svc.handle_connection(conn))
+                            .expect("spawn connection handler"),
+                    );
+                    handlers.retain(|h| !h.is_finished());
+                }
+                None => {
+                    if term.load(Ordering::SeqCst) && !service.accept_stop.load(Ordering::SeqCst) {
+                        // External termination: same graceful path as a
+                        // protocol SHUTDOWN.
+                        service.drain();
+                        service.accept_stop.store(true, Ordering::SeqCst);
+                    }
+                    if service.finished() {
+                        break;
+                    }
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+            }
+        }
+
+        service.stop_workers();
+        for h in pool {
+            let _ = h.join();
+        }
+        let _ = monitor.join();
+        for h in handlers {
+            let _ = h.join();
+        }
+        #[cfg(unix)]
+        if let ListenerKind::Unix { path, .. } = &listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpharness::wire::parse;
+
+    fn svc(cfg: ServerConfig) -> Arc<Service> {
+        Service::new(cfg)
+    }
+
+    fn submit_line(s: &Service, json: &str) -> Value {
+        s.dispatch(&format!("SUBMIT {json}"))
+    }
+
+    #[test]
+    fn malformed_submit_is_an_error_not_a_rejection() {
+        let s = svc(ServerConfig::default());
+        let r = submit_line(&s, r#"{"workload":"no.such"}"#);
+        assert_eq!(r.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(s.counters.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(s.counters.rejected.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn paused_queue_sheds_load_beyond_capacity() {
+        let s = svc(ServerConfig {
+            workers: 1,
+            queue_capacity: 2,
+            start_paused: true,
+            ..Default::default()
+        });
+        let a = submit_line(&s, r#"{"workload":"gap.bfs","scale":"test"}"#);
+        let b = submit_line(&s, r#"{"workload":"gap.tc","scale":"test"}"#);
+        let c = submit_line(&s, r#"{"workload":"gap.pr","scale":"test"}"#);
+        assert_eq!(a.get("status").unwrap().as_str(), Some("queued"));
+        assert_eq!(b.get("status").unwrap().as_str(), Some("queued"));
+        assert_eq!(c.get("status").unwrap().as_str(), Some("rejected"));
+        assert_eq!(c.get("reason").unwrap().as_str(), Some("queue-full"));
+        assert_eq!(s.counters.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_shape_is_complete() {
+        let s = svc(ServerConfig::default());
+        let v = s.dispatch("STATS");
+        let stats = v.get("stats").unwrap();
+        for field in [
+            "queue_depth",
+            "in_flight",
+            "workers",
+            "queue_capacity",
+            "served",
+            "rejected",
+            "errors",
+            "cache_hits",
+            "simulations",
+            "cancelled",
+            "failed",
+            "cache_entries",
+            "sweep_cache_entries",
+            "service_time_us",
+            "uptime_ms",
+        ] {
+            assert!(stats.get(field).is_some(), "stats missing {field}");
+        }
+        // The whole response is wire-parseable.
+        assert!(parse(&v.encode()).is_ok());
+    }
+
+    #[test]
+    fn unknown_verbs_and_bad_polls_are_structured_errors() {
+        let s = svc(ServerConfig::default());
+        let v = s.dispatch("FROBNICATE 12");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        let v = s.dispatch("POLL notanumber");
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        let v = s.dispatch("POLL 999");
+        assert!(v.get("reason").unwrap().as_str().unwrap().contains("unknown ticket"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between the code
+//! that owns a simulation (a server worker, a deadline monitor) and the
+//! engine executing it. The engine polls the flag at **epoch
+//! boundaries** — every [`CANCEL_EPOCH`] processed accesses — so
+//! cancellation latency is bounded (a few microseconds of simulated
+//! work) without putting an atomic load on the per-access hot path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// How many accesses the engine processes between cancellation checks.
+///
+/// At the hot path's measured ~0.7 µs/access, 4096 accesses bound the
+/// cancellation latency to a few milliseconds while keeping the check
+/// itself (one relaxed atomic load) entirely off the per-access path.
+pub const CANCEL_EPOCH: u64 = 4096;
+
+/// A shared cancellation flag (see module docs).
+///
+/// ```
+/// use tpsim::CancelToken;
+/// let t = CancelToken::new();
+/// let t2 = t.clone();
+/// assert!(!t2.is_cancelled());
+/// t.cancel();
+/// assert!(t2.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn fresh_tokens_are_independent() {
+        let a = CancelToken::new();
+        a.cancel();
+        assert!(!CancelToken::new().is_cancelled());
+    }
+}

@@ -1,5 +1,66 @@
 //! System configuration mirroring the paper's Table II.
 
+use std::fmt;
+
+/// A rejected engine or experiment parameter.
+///
+/// The builder-style entry points (`Engine::new`,
+/// `Engine::warmup_fraction`) panic on invalid input, which is right
+/// for experiment code where a bad parameter is a programming error.
+/// Services that accept configurations from untrusted clients use the
+/// `try_` variants instead and surface this error as a structured
+/// request rejection rather than a process abort.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The warmup fraction was NaN (explicitly rejected: NaN fails every
+    /// range comparison and would otherwise masquerade as out-of-range).
+    WarmupNan,
+    /// The warmup fraction was outside `[0, 1)`.
+    WarmupOutOfRange(f64),
+    /// The number of core plans did not match the configured core count.
+    PlanCountMismatch {
+        /// Plans supplied.
+        plans: usize,
+        /// Cores configured.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Both warmup variants keep the historical assert message as
+            // a prefix so `should_panic(expected = ...)` callers and log
+            // scrapers keep matching.
+            ConfigError::WarmupNan => write!(f, "warmup must be in [0, 1), got NaN"),
+            ConfigError::WarmupOutOfRange(v) => {
+                write!(f, "warmup must be in [0, 1), got {v}")
+            }
+            ConfigError::PlanCountMismatch { plans, cores } => write!(
+                f,
+                "one plan per configured core required ({plans} plan(s), {cores} core(s))"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates a warmup fraction: finite and within `[0, 1)`, with NaN
+/// rejected explicitly.
+///
+/// # Errors
+/// Returns the specific [`ConfigError`] describing the rejection.
+pub fn validate_warmup_fraction(frac: f64) -> Result<(), ConfigError> {
+    if frac.is_nan() {
+        return Err(ConfigError::WarmupNan);
+    }
+    if !(0.0..1.0).contains(&frac) {
+        return Err(ConfigError::WarmupOutOfRange(frac));
+    }
+    Ok(())
+}
+
 /// Parameters of one cache level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheParams {
@@ -206,5 +267,29 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_cores_panics() {
         let _ = SystemConfig::with_cores(0);
+    }
+
+    #[test]
+    fn warmup_validation_accepts_the_range_and_names_rejections() {
+        assert_eq!(validate_warmup_fraction(0.0), Ok(()));
+        assert_eq!(validate_warmup_fraction(0.999), Ok(()));
+        assert_eq!(validate_warmup_fraction(f64::NAN), Err(ConfigError::WarmupNan));
+        assert_eq!(
+            validate_warmup_fraction(1.0),
+            Err(ConfigError::WarmupOutOfRange(1.0))
+        );
+        assert_eq!(
+            validate_warmup_fraction(-0.1),
+            Err(ConfigError::WarmupOutOfRange(-0.1))
+        );
+        assert_eq!(
+            validate_warmup_fraction(f64::INFINITY),
+            Err(ConfigError::WarmupOutOfRange(f64::INFINITY))
+        );
+        // Rejections render with the historical assert prefix.
+        assert!(validate_warmup_fraction(f64::NAN)
+            .unwrap_err()
+            .to_string()
+            .starts_with("warmup must be in [0, 1)"));
     }
 }

@@ -2,7 +2,8 @@
 //! drives the hierarchy, and invokes prefetchers.
 
 use crate::audit::{self, AuditReport};
-use crate::config::SystemConfig;
+use crate::cancel::{CancelToken, CANCEL_EPOCH};
+use crate::config::{validate_warmup_fraction, ConfigError, SystemConfig};
 use crate::core_model::CoreTiming;
 use crate::hierarchy::{FeedbackEvent, Hierarchy, PrefetchOrigin};
 use crate::prefetch::{
@@ -136,11 +137,22 @@ impl Engine {
     /// # Panics
     /// Panics if the plan count does not match the core count.
     pub fn new(config: SystemConfig, plans: Vec<CorePlan>) -> Self {
-        assert_eq!(
-            plans.len(),
-            config.cores,
-            "one plan per configured core required"
-        );
+        Self::try_new(config, plans).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates an engine, returning the validation error instead of
+    /// panicking on a plan/core mismatch (the service path).
+    ///
+    /// # Errors
+    /// [`ConfigError::PlanCountMismatch`] if the plan count does not
+    /// match the configured core count.
+    pub fn try_new(config: SystemConfig, plans: Vec<CorePlan>) -> Result<Self, ConfigError> {
+        if plans.len() != config.cores {
+            return Err(ConfigError::PlanCountMismatch {
+                plans: plans.len(),
+                cores: config.cores,
+            });
+        }
         let states = (0..plans.len())
             .map(|i| CoreRunState {
                 timing: CoreTiming::new(config.core.width, config.core.rob),
@@ -163,7 +175,7 @@ impl Engine {
                 address_tag: (i as u64) << 52,
             })
             .collect();
-        Engine {
+        Ok(Engine {
             hierarchy: Hierarchy::new(config),
             plans,
             states,
@@ -172,15 +184,31 @@ impl Engine {
             feedback_scratch: Vec::new(),
             samples_scratch: Vec::new(),
             prefetch_scratch: Vec::new(),
-        }
+        })
     }
 
     /// Sets the warmup fraction (default 0.2): statistics are reset after
     /// this fraction of each trace has executed.
-    pub fn warmup_fraction(mut self, frac: f64) -> Self {
-        assert!((0.0..1.0).contains(&frac), "warmup must be in [0, 1)");
+    ///
+    /// # Panics
+    /// Panics if `frac` is NaN or outside `[0, 1)`; use
+    /// [`Engine::try_warmup_fraction`] to get the rejection as a value.
+    pub fn warmup_fraction(self, frac: f64) -> Self {
+        self.try_warmup_fraction(frac).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the warmup fraction, returning the validation error instead
+    /// of panicking. NaN is rejected explicitly
+    /// ([`ConfigError::WarmupNan`]); anything outside `[0, 1)` is
+    /// [`ConfigError::WarmupOutOfRange`].
+    ///
+    /// # Errors
+    /// See above; on error the engine is consumed (rebuild it), which
+    /// keeps the builder chain ergonomic for the panicking wrapper.
+    pub fn try_warmup_fraction(mut self, frac: f64) -> Result<Self, ConfigError> {
+        validate_warmup_fraction(frac)?;
         self.warmup_frac = frac;
-        self
+        Ok(self)
     }
 
     /// Runs the simulation to completion and returns the report.
@@ -190,7 +218,22 @@ impl Engine {
     /// the shared LLC/DRAM contended) with their statistics frozen at
     /// target, until every core completes — mirroring fixed-instruction
     /// multi-programmed methodology.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_impl(None)
+            .expect("run without a cancel token always completes")
+    }
+
+    /// Runs the simulation with cooperative cancellation: the engine
+    /// checks `cancel` at epoch boundaries (every
+    /// [`CANCEL_EPOCH`](crate::cancel::CANCEL_EPOCH) processed accesses)
+    /// and returns `None` if cancellation was requested, discarding the
+    /// partial run. A completed run returns the same report `run` would
+    /// have produced — the check adds no simulation-visible state.
+    pub fn run_with_cancel(self, cancel: &CancelToken) -> Option<SimReport> {
+        self.run_impl(Some(cancel))
+    }
+
+    fn run_impl(mut self, cancel: Option<&CancelToken>) -> Option<SimReport> {
         let cores = self.plans.len();
         let warmup_at: Vec<usize> = self
             .plans
@@ -206,7 +249,20 @@ impl Engine {
             self.prime(c);
         }
 
+        let mut steps: u64 = 0;
         while done_count < cores {
+            // Epoch-boundary cancellation check (see `crate::cancel`):
+            // cheap enough to leave simulation results bit-identical
+            // (it touches no simulation state) while bounding the
+            // latency of a deadline or shutdown request.
+            if steps.is_multiple_of(CANCEL_EPOCH) {
+                if let Some(token) = cancel {
+                    if token.is_cancelled() {
+                        return None;
+                    }
+                }
+            }
+            steps += 1;
             // Pick the core with the earliest pending issue.
             let mut best: Option<(u64, usize)> = None;
             for (c, s) in self.states.iter().enumerate() {
@@ -238,7 +294,7 @@ impl Engine {
             }
             self.prime(core);
         }
-        self.report()
+        Some(self.report())
     }
 
     /// Computes the issue time of the core's next access.
@@ -611,5 +667,68 @@ mod tests {
     #[should_panic(expected = "one plan per configured core")]
     fn plan_count_mismatch_panics() {
         let _ = Engine::new(SystemConfig::with_cores(2), vec![]);
+    }
+
+    #[test]
+    fn try_new_reports_plan_mismatch_as_value() {
+        let err = Engine::try_new(SystemConfig::with_cores(2), vec![]).err().unwrap();
+        assert_eq!(
+            err,
+            crate::config::ConfigError::PlanCountMismatch { plans: 0, cores: 2 }
+        );
+        assert!(Engine::try_new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.bzip2"))]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn try_warmup_rejects_nan_and_out_of_range() {
+        let mk = || {
+            Engine::new(
+                SystemConfig::single_core(),
+                vec![CorePlan::bare(trace("spec06.bzip2"))],
+            )
+        };
+        assert_eq!(
+            mk().try_warmup_fraction(f64::NAN).err().unwrap(),
+            crate::config::ConfigError::WarmupNan
+        );
+        assert_eq!(
+            mk().try_warmup_fraction(1.5).err().unwrap(),
+            crate::config::ConfigError::WarmupOutOfRange(1.5)
+        );
+        assert!(mk().try_warmup_fraction(0.3).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup must be in [0, 1)")]
+    fn warmup_panicking_wrapper_keeps_its_message() {
+        let _ = Engine::new(
+            SystemConfig::single_core(),
+            vec![CorePlan::bare(trace("spec06.bzip2"))],
+        )
+        .warmup_fraction(f64::NAN);
+    }
+
+    #[test]
+    fn cancelled_run_returns_none_and_completed_run_matches_plain_run() {
+        let mk = || {
+            Engine::new(
+                SystemConfig::single_core(),
+                vec![CorePlan::bare(trace("gap.bfs"))
+                    .with_temporal(Box::new(IdealTemporal::new(4)))],
+            )
+        };
+        let pre_cancelled = CancelToken::new();
+        pre_cancelled.cancel();
+        assert!(mk().run_with_cancel(&pre_cancelled).is_none());
+
+        let live = CancelToken::new();
+        let via_token = mk().run_with_cancel(&live).expect("uncancelled run completes");
+        let plain = mk().run();
+        assert_eq!(via_token.cores[0].cycles, plain.cores[0].cycles);
+        assert_eq!(via_token.cores[0].l2.misses, plain.cores[0].l2.misses);
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod audit;
 pub mod cache;
+pub mod cancel;
 pub mod config;
 pub mod core_model;
 pub mod dram;
@@ -45,7 +46,10 @@ pub mod stats;
 pub mod table;
 
 pub use audit::{AuditReport, Violation};
-pub use config::{CacheParams, CoreParams, DramParams, SystemConfig};
+pub use cancel::{CancelToken, CANCEL_EPOCH};
+pub use config::{
+    validate_warmup_fraction, CacheParams, ConfigError, CoreParams, DramParams, SystemConfig,
+};
 pub use engine::{CorePlan, Engine};
 pub use hierarchy::{Hierarchy, PrefetchOrigin};
 pub use prefetch::{

@@ -81,7 +81,10 @@ fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
 }
 
 fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
+    // Shift in the unsigned domain: `i64 << 1` overflows (and panics in
+    // debug builds) for deltas with the top bit set, which arbitrary
+    // 64-bit addresses can produce.
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
 }
 
 fn unzigzag(v: u64) -> i64 {
@@ -116,11 +119,11 @@ pub fn to_bytes(trace: &Trace) -> Vec<u8> {
             | (a.gap as u64) << 3;
         put_varint(&mut out, flags);
         if !same_pc {
-            put_varint(&mut out, zigzag(a.pc.0 as i64 - last_pc as i64));
+            put_varint(&mut out, zigzag((a.pc.0 as i64).wrapping_sub(last_pc as i64)));
             last_pc = a.pc.0;
         }
         let prev = last_addr.entry(a.pc.0).or_insert(0);
-        let delta = a.addr.0 as i64 - *prev;
+        let delta = (a.addr.0 as i64).wrapping_sub(*prev);
         put_varint(&mut out, zigzag(delta));
         *prev = a.addr.0 as i64;
     }
@@ -129,8 +132,15 @@ pub fn to_bytes(trace: &Trace) -> Vec<u8> {
 
 /// Deserializes a trace from bytes.
 ///
+/// The decoder is hardened for **untrusted input** (the simulation
+/// server accepts serialized traces over the wire): every length field
+/// is validated against the bytes actually present before any
+/// allocation, so a hostile header can neither panic the process nor
+/// make it overallocate, and all delta reconstruction uses wrapping
+/// arithmetic so adversarial deltas cannot trip debug overflow checks.
+///
 /// # Errors
-/// Returns a [`DecodeError`] on malformed input.
+/// Returns a [`DecodeError`] on malformed input; never panics.
 pub fn from_bytes(buf: &[u8]) -> Result<Trace, DecodeError> {
     if buf.len() < 4 || &buf[..4] != MAGIC {
         return Err(DecodeError::BadMagic);
@@ -144,14 +154,25 @@ pub fn from_bytes(buf: &[u8]) -> Result<Trace, DecodeError> {
     };
     pos += 1;
     let name_len = get_varint(buf, &mut pos)? as usize;
-    let name_bytes = buf
-        .get(pos..pos + name_len)
-        .ok_or(DecodeError::Truncated)?;
+    // `pos + name_len` must not overflow usize (32-bit hosts) and the
+    // name must be fully present before slicing.
+    let name_end = pos.checked_add(name_len).ok_or(DecodeError::Truncated)?;
+    let name_bytes = buf.get(pos..name_end).ok_or(DecodeError::Truncated)?;
     let name = std::str::from_utf8(name_bytes)
         .map_err(|_| DecodeError::BadName)?
         .to_string();
-    pos += name_len;
+    pos = name_end;
     let count = get_varint(buf, &mut pos)? as usize;
+
+    // Every access costs at least two bytes (a flags varint and an
+    // address-delta varint), so a count claiming more records than the
+    // remaining bytes could possibly hold is hostile or truncated.
+    // Rejecting it here also bounds the reservation below by
+    // `buf.len() / 2`: a forged 2^60 count cannot overallocate.
+    let remaining = buf.len() - pos;
+    if count > remaining / 2 {
+        return Err(DecodeError::Truncated);
+    }
 
     let mut accesses = Vec::with_capacity(count);
     let mut last_pc = 0u64;
@@ -169,13 +190,13 @@ pub fn from_bytes(buf: &[u8]) -> Result<Trace, DecodeError> {
             last_pc
         } else {
             let d = unzigzag(get_varint(buf, &mut pos)?);
-            last_pc = (last_pc as i64 + d) as u64;
+            last_pc = (last_pc as i64).wrapping_add(d) as u64;
             last_pc
         };
         let gap = (flags >> 3) as u32;
         let delta = unzigzag(get_varint(buf, &mut pos)?);
         let prev = last_addr.entry(pc).or_insert(0);
-        let addr = (*prev + delta) as u64;
+        let addr = (*prev).wrapping_add(delta) as u64;
         *prev = addr as i64;
         accesses.push(Access {
             pc: Pc(pc),

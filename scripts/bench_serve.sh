@@ -1,0 +1,37 @@
+#!/bin/sh
+# Measures tpserve service latency: cold (first submission simulates)
+# vs cache hit (identical resubmission served from the response cache),
+# plus cache-hit requests/sec. Writes BENCH_serve.json in the repo root.
+#
+# Usage: ./scripts/bench_serve.sh   (from anywhere)
+set -e
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p tpserve
+
+SOCK="${TMPDIR:-/tmp}/tpserve-bench-$$.sock"
+./target/release/tpserve --socket="$SOCK" --jobs=2 >/dev/null 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "tpserve did not create $SOCK"; exit 1; }
+
+# Small scale so the cold run reflects a real experiment, not a toy.
+./target/release/tpclient "unix:$SOCK" bench \
+  '{"workload":"spec06.mcf","scale":"small","l1":"stride","temporal":"streamline"}' \
+  > BENCH_serve.json
+./target/release/tpclient "unix:$SOCK" shutdown >/dev/null
+wait "$SERVER_PID"
+trap - EXIT
+
+cat BENCH_serve.json
+# The whole point of the response cache: hits must be at least 10x
+# cheaper than the cold simulation.
+RATIO=$(sed -n 's/.*"cold_over_hit":\([0-9.]*\).*/\1/p' BENCH_serve.json)
+awk "BEGIN { exit !($RATIO >= 10) }" || {
+  echo "bench_serve: cache-hit speedup $RATIO < 10x"; exit 1;
+}
+echo "bench_serve: cache hits are ${RATIO}x cheaper than cold runs"

@@ -29,4 +29,32 @@ for w in spec06.mcf spec17.xalancbmk gap.bfs; do
   cargo run --release -q -p tpharness --bin tpcli -- \
     compare "$w" --scale=test --audit >/dev/null
 done
+
+echo "== server smoke test (unix socket, submit + stats + drain) =="
+SOCK="${TMPDIR:-/tmp}/tpserve-check-$$.sock"
+./target/release/tpserve --socket="$SOCK" --jobs=2 --audit >/dev/null 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "tpserve did not create $SOCK"; exit 1; }
+TPC="./target/release/tpclient unix:$SOCK"
+$TPC ping | grep -q '"pong":true'
+$TPC submit '{"workload":"spec06.mcf","scale":"test","temporal":"streamline"}' \
+  | grep -q '"status":"done"'
+# Identical resubmission must be a cache hit.
+$TPC submit '{"workload":"spec06.mcf","scale":"test","temporal":"streamline"}' \
+  | grep -q '"cached":true'
+STATS=$($TPC stats)
+echo "$STATS" | grep -q '"simulations":1'
+echo "$STATS" | grep -q '"cache_hits":1'
+# Malformed requests are structured errors, not crashes.
+$TPC submit '{"workload":"no.such"}' | grep -q '"status":"error"'
+$TPC shutdown | grep -q '"status":"ok"'
+wait "$SERVER_PID"
+trap - EXIT
+[ ! -e "$SOCK" ] || { echo "tpserve left its socket behind"; exit 1; }
+
 echo "check.sh: all gates passed"

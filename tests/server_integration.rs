@@ -1,0 +1,223 @@
+//! End-to-end tests for the `tpserve` simulation service: protocol
+//! round-trips over real sockets, byte-identical reports vs direct
+//! sweep-runner execution, load shedding, deadline cancellation, and
+//! graceful drain.
+
+use std::thread;
+use tpharness::baselines::{L1Kind, TemporalKind};
+use tpharness::experiment::{run_single, Experiment};
+use tpharness::sweep::{SweepJob, SweepRunner};
+use tpharness::wire::{encode_sim_report, parse, Value};
+use tpserve::{Client, Controller, Server, ServerConfig};
+use tptrace::{workloads, Scale};
+
+struct Harness {
+    addr: String,
+    controller: Controller,
+    handle: thread::JoinHandle<()>,
+}
+
+fn start(cfg: ServerConfig) -> Harness {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind test server");
+    let addr = server.addr().to_string();
+    let controller = server.controller();
+    let handle = thread::spawn(move || server.run().expect("server run"));
+    Harness {
+        addr,
+        controller,
+        handle,
+    }
+}
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).unwrap_or("<none>")
+}
+
+fn req(json: &str) -> Value {
+    parse(json).expect("test request parses")
+}
+
+#[test]
+fn served_reports_are_byte_identical_and_cache_hits_skip_simulation() {
+    let h = start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&h.addr).expect("connect");
+    assert_eq!(status(&c.ping().unwrap()), "ok");
+
+    // Canonical-seed request vs a direct sweep-runner run.
+    let payload = req(r#"{"workload":"spec06.mcf","scale":"test","l1":"stride","temporal":"streamline"}"#);
+    let resp = c.submit_and_wait(&payload).unwrap();
+    assert_eq!(status(&resp), "done", "{}", resp.encode());
+    assert_eq!(resp.get("cached").unwrap().as_bool(), Some(false));
+    let served = resp.get("report").expect("done carries a report").encode();
+
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    let direct = SweepRunner::serial().run_one(SweepJob::single(
+        workloads::by_name("spec06.mcf").unwrap(),
+        exp.clone(),
+    ));
+    assert_eq!(
+        served,
+        encode_sim_report(&direct),
+        "server report must be byte-identical to a direct run"
+    );
+
+    // Seed-overriding request vs a direct reseeded run (this path
+    // bypasses the sweep cache inside the server).
+    let seeded = req(r#"{"workload":"spec06.mcf","scale":"test","l1":"stride","temporal":"streamline","seed":12345}"#);
+    let resp = c.submit_and_wait(&seeded).unwrap();
+    assert_eq!(status(&resp), "done");
+    let w = workloads::by_name("spec06.mcf").unwrap().with_seed(12345);
+    assert_eq!(
+        resp.get("report").unwrap().encode(),
+        encode_sim_report(&run_single(&w, &exp)),
+        "seeded server report must match a direct reseeded run"
+    );
+
+    // Identical resubmission: served synchronously from the response
+    // cache, with no new simulation (proven via STATS counters).
+    let sims_before = {
+        let stats = c.stats().unwrap();
+        stats.get("stats").unwrap().get("simulations").unwrap().as_u64().unwrap()
+    };
+    let resp = c.submit_and_wait(&payload).unwrap();
+    assert_eq!(status(&resp), "done");
+    assert_eq!(resp.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("report").unwrap().encode(), served);
+    let stats = c.stats().unwrap();
+    let stats = stats.get("stats").unwrap();
+    assert_eq!(
+        stats.get("simulations").unwrap().as_u64().unwrap(),
+        sims_before,
+        "a cache hit must not simulate"
+    );
+    assert!(stats.get("cache_hits").unwrap().as_u64().unwrap() >= 1);
+    assert!(stats.get("service_time_us").unwrap().get("p50").is_some());
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    h.handle.join().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_load_with_structured_rejections() {
+    let h = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        start_paused: true, // queue fills deterministically: no worker pops
+        ..Default::default()
+    });
+    let mut c = Client::connect(&h.addr).expect("connect");
+
+    let a = c.submit(&req(r#"{"workload":"gap.bfs","scale":"test"}"#)).unwrap();
+    let b = c.submit(&req(r#"{"workload":"gap.tc","scale":"test"}"#)).unwrap();
+    let shed = c.submit(&req(r#"{"workload":"gap.pr","scale":"test"}"#)).unwrap();
+    assert_eq!(status(&a), "queued");
+    assert_eq!(status(&b), "queued");
+    assert_eq!(status(&shed), "rejected", "{}", shed.encode());
+    assert_eq!(shed.get("reason").unwrap().as_str(), Some("queue-full"));
+    assert_eq!(shed.get("queue_capacity").unwrap().as_u64(), Some(2));
+
+    // Accepted work completes once the queue is released.
+    h.controller.resume();
+    for queued in [&a, &b] {
+        let ticket = queued.get("ticket").unwrap().as_u64().unwrap();
+        let done = c.wait(ticket).unwrap();
+        assert_eq!(status(&done), "done", "{}", done.encode());
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats.get("stats").unwrap().get("rejected").unwrap().as_u64(),
+        Some(1)
+    );
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    h.handle.join().unwrap();
+}
+
+#[test]
+fn deadline_expires_mid_run_and_the_server_keeps_serving() {
+    let h = start(ServerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&h.addr).expect("connect");
+
+    // A four-core full-scale mix runs far longer than 10ms; the
+    // deadline monitor cancels it at an engine epoch boundary.
+    let doomed = req(
+        r#"{"mix":["spec06.mcf","gap.pr","gap.tc","spec06.xalancbmk"],"scale":"full","temporal":"streamline","deadline_ms":10}"#,
+    );
+    let resp = c.submit_and_wait(&doomed).unwrap();
+    assert_eq!(status(&resp), "deadline-exceeded", "{}", resp.encode());
+
+    // The worker that ran the doomed job is free again: quick work
+    // still completes, and the cancellation is visible in the stats.
+    let quick = c
+        .submit_and_wait(&req(r#"{"workload":"gap.bfs","scale":"test"}"#))
+        .unwrap();
+    assert_eq!(status(&quick), "done", "{}", quick.encode());
+    let stats = c.stats().unwrap();
+    assert!(
+        stats.get("stats").unwrap().get("cancelled").unwrap().as_u64().unwrap() >= 1,
+        "cancelled counter must record the deadline expiry"
+    );
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    h.handle.join().unwrap();
+}
+
+#[test]
+fn graceful_drain_loses_no_responses() {
+    let h = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        start_paused: true,
+        ..Default::default()
+    });
+    let mut submitter = Client::connect(&h.addr).expect("connect submitter");
+
+    // Four distinct requests pile up behind the paused queue.
+    let mut tickets = Vec::new();
+    for wl in ["gap.bfs", "gap.tc", "gap.pr", "spec06.bzip2"] {
+        let resp = submitter
+            .submit(&req(&format!(r#"{{"workload":"{wl}","scale":"test"}}"#)))
+            .unwrap();
+        assert_eq!(status(&resp), "queued", "{}", resp.encode());
+        tickets.push(resp.get("ticket").unwrap().as_u64().unwrap());
+    }
+
+    // SHUTDOWN on a second connection: it must block until the queue
+    // drains, which only happens once we release the pause.
+    let addr = h.addr.clone();
+    let shutdown = thread::spawn(move || {
+        let mut c = Client::connect(&addr).expect("connect shutdowner");
+        c.shutdown().expect("shutdown round-trip")
+    });
+    thread::sleep(std::time::Duration::from_millis(50));
+    h.controller.resume();
+    let ack = shutdown.join().expect("shutdown thread");
+    assert_eq!(status(&ack), "ok", "{}", ack.encode());
+
+    // Every response accepted before the drain is still collectable.
+    for t in tickets {
+        let resp = submitter.wait(t).unwrap();
+        assert_eq!(status(&resp), "done", "drained ticket {t}: {}", resp.encode());
+    }
+    // New (uncached) work is shed with a structured reason; already-
+    // cached requests would still be served, since they create no work.
+    let late = submitter
+        .submit(&req(r#"{"workload":"spec06.libquantum","scale":"test"}"#))
+        .unwrap();
+    assert_eq!(status(&late), "rejected", "{}", late.encode());
+    assert_eq!(late.get("reason").unwrap().as_str(), Some("shutting-down"));
+
+    drop(submitter);
+    h.handle.join().unwrap();
+}
