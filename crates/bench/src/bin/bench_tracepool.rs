@@ -1,0 +1,170 @@
+//! bench_tracepool — measures what the shared trace pool buys.
+//!
+//! An experiment sweep replays one workload under many configurations.
+//! Before the pool, every job generated its own private copy of the
+//! trace: N experiments cost N generations and, at `--jobs=N`, held N
+//! live copies simultaneously. The pool collapses that to **one
+//! generation and one resident copy**, with concurrent first requests
+//! rendezvousing on a single generator (single-flight).
+//!
+//! This binary measures both regimes on the same machine and emits a
+//! JSON report (`BENCH_tracepool.json` via `scripts/bench_tracepool.sh`):
+//!
+//! 1. **unpooled** — one private `Workload::generate` per experiment on
+//!    the sweep worker pool, holding every copy live (what the old
+//!    sweep's engines did), recording wall time and summed resident
+//!    bytes;
+//! 2. **pooled** — the same requests through
+//!    [`Workload::generate_shared`], recording wall time, the pool's
+//!    generation counter, and the single shared copy's resident bytes;
+//! 3. **sweep gate** — a real [`SweepRunner`] sweep of N distinct
+//!    experiments over the workload, asserting the pool performed
+//!    **exactly one** trace generation for the whole sweep.
+//!
+//! Exit status is the benchmark's verdict: non-zero when generation
+//! amortization falls under 2x or the sweep gate fails, so CI can run
+//! `--smoke` as a regression check.
+//!
+//! Usage: `bench_tracepool [--smoke] [--jobs=N]`
+//!   `--smoke` shrinks to 4 experiments at test scale (CI-friendly).
+
+use std::sync::Arc;
+use std::time::Instant;
+use tpbench::stride_baseline;
+use tpharness::sweep::{SweepJob, SweepRunner};
+use tptrace::{workloads, Scale, Trace, Workload};
+
+/// Distinct experiments over one workload: same trace key, different
+/// fingerprints (bandwidth sweep), so the sweep cache cannot collapse
+/// them and each one independently asks the pool for the trace.
+fn experiments(n: usize, scale: Scale) -> Vec<tpharness::experiment::Experiment> {
+    (0..n)
+        .map(|i| stride_baseline(scale).bandwidth(1.0 + i as f64 * 0.125))
+        .collect()
+}
+
+struct Phase {
+    wall_ms: f64,
+    generations: u64,
+    peak_resident_bytes: usize,
+}
+
+/// Old regime: every experiment generates and holds a private copy.
+/// The copies are collected (not dropped as they finish) because that
+/// is what a `--jobs=N` sweep did: N engines, each holding its own
+/// trace for the duration of its run.
+fn run_unpooled(runner: &SweepRunner, w: &Workload, scale: Scale, n: usize) -> Phase {
+    let items: Vec<usize> = (0..n).collect();
+    let start = Instant::now();
+    let copies: Vec<Trace> = runner.map(&items, |_, _| w.generate(scale));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Phase {
+        wall_ms,
+        generations: n as u64,
+        peak_resident_bytes: copies.iter().map(Trace::resident_bytes).sum(),
+    }
+}
+
+/// Pooled regime: the same N requests rendezvous on one generation and
+/// share one allocation.
+fn run_pooled(runner: &SweepRunner, w: &Workload, scale: Scale, n: usize) -> Phase {
+    let pool = tptrace::pool::global();
+    pool.clear();
+    let before = pool.stats();
+    let items: Vec<usize> = (0..n).collect();
+    let start = Instant::now();
+    let shared: Vec<Arc<Trace>> = runner.map(&items, |_, _| w.generate_shared(scale));
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let after = pool.stats();
+    assert!(
+        shared.windows(2).all(|p| Arc::ptr_eq(&p[0], &p[1])),
+        "pooled requests must share one allocation"
+    );
+    Phase {
+        wall_ms,
+        generations: after.generations - before.generations,
+        peak_resident_bytes: shared[0].resident_bytes(),
+    }
+}
+
+/// Real end-to-end gate: a sweep of `n` distinct experiments over one
+/// workload must perform exactly one trace generation.
+fn sweep_generations(runner: &SweepRunner, w: &Workload, n: usize) -> u64 {
+    let pool = tptrace::pool::global();
+    pool.clear();
+    let before = pool.stats();
+    let jobs: Vec<SweepJob> = experiments(n, Scale::Test)
+        .into_iter()
+        .map(|e| SweepJob::single(w.clone(), e))
+        .collect();
+    let reports = runner.run(&jobs);
+    assert_eq!(reports.len(), n);
+    pool.stats().generations - before.generations
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 4 } else { 8 };
+    let scale = if smoke { Scale::Test } else { Scale::Small };
+    let workers = tpharness::jobs::worker_count(tpharness::jobs::jobs_flag().or(Some(n)));
+    let runner = SweepRunner::new().with_workers(workers);
+    let w = workloads::by_name("spec06.mcf").unwrap();
+
+    eprintln!("trace pool benchmark: {} x {} at {scale} scale, {workers} worker(s)", w.name, n);
+
+    let unpooled = run_unpooled(&runner, &w, scale, n);
+    let pooled = run_pooled(&runner, &w, scale, n);
+    let sweep_gens = sweep_generations(&runner, &w, n);
+
+    let gen_reduction = unpooled.generations as f64 / pooled.generations.max(1) as f64;
+    let amortization = unpooled.wall_ms / pooled.wall_ms.max(1e-9);
+    let resident_drop =
+        unpooled.peak_resident_bytes as f64 / pooled.peak_resident_bytes.max(1) as f64;
+
+    println!("{{");
+    println!("  \"bench\": \"tracepool\",");
+    println!("  \"workload\": \"{}\",", w.name);
+    println!("  \"experiments\": {n},");
+    println!("  \"jobs\": {workers},");
+    println!("  \"scale\": \"{scale}\",");
+    println!("  \"unpooled\": {{");
+    println!("    \"generations\": {},", unpooled.generations);
+    println!("    \"wall_ms\": {:.3},", unpooled.wall_ms);
+    println!("    \"peak_resident_bytes\": {}", unpooled.peak_resident_bytes);
+    println!("  }},");
+    println!("  \"pooled\": {{");
+    println!("    \"generations\": {},", pooled.generations);
+    println!("    \"wall_ms\": {:.3},", pooled.wall_ms);
+    println!("    \"peak_resident_bytes\": {}", pooled.peak_resident_bytes);
+    println!("  }},");
+    println!("  \"generation_reduction\": {gen_reduction:.2},");
+    println!("  \"generation_amortization\": {amortization:.2},");
+    println!("  \"peak_resident_reduction\": {resident_drop:.2},");
+    println!("  \"sweep_generations\": {sweep_gens}");
+    println!("}}");
+
+    let mut failed = false;
+    if sweep_gens != 1 {
+        eprintln!("FAIL: {n}-experiment sweep performed {sweep_gens} generations (want 1)");
+        failed = true;
+    }
+    if gen_reduction < 4.0 {
+        eprintln!("FAIL: generation reduction {gen_reduction:.2}x under the 4x floor");
+        failed = true;
+    }
+    if amortization < 2.0 {
+        eprintln!("FAIL: generation amortization {amortization:.2}x under the 2x floor");
+        failed = true;
+    }
+    if resident_drop <= 1.0 {
+        eprintln!("FAIL: peak resident bytes did not drop ({resident_drop:.2}x)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "ok: {gen_reduction:.1}x fewer generations, {amortization:.1}x wall amortization, \
+         {resident_drop:.1}x peak-resident reduction, sweep ran 1 generation"
+    );
+}

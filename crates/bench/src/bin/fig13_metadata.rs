@@ -119,11 +119,11 @@ fn main() {
     );
     for name in ["spec06.mcf", "gap.pr", "spec06.omnetpp"] {
         let w = workloads::by_name(name).unwrap();
-        let trace = w.generate(Scale::Test);
+        let trace = w.generate_shared(Scale::Test);
         // Correlation stream: consecutive same-PC line pairs.
         let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         let mut stream = Vec::new();
-        for a in trace.accesses() {
+        for a in trace.iter() {
             let line = a.addr.line().0;
             if let Some(prev) = last.insert(a.pc.0, line) {
                 if prev != line {

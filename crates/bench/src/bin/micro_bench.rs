@@ -7,6 +7,7 @@
 //! then run for a fixed wall-clock budget and reported as ns/op.
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use streamline_core::{align, StreamEntry, StreamStore, Streamline, StreamlineConfig};
 use tpbench::alloc_count::{self, CountingAlloc};
@@ -60,8 +61,10 @@ struct PhaseResult {
 /// Builds a fresh plan for one benchmark run of `trace` with a
 /// Streamline temporal prefetcher attached (the configuration whose
 /// demand path the hot-path work targets).
-fn streamline_plan(trace: &Trace) -> CorePlan {
-    CorePlan::bare(trace.clone()).with_temporal(Box::new(Streamline::new()))
+fn streamline_plan(trace: &Arc<Trace>) -> CorePlan {
+    // Arc::clone, not a deep copy: every run replays the same packed
+    // arrays, like the pooled experiment path.
+    CorePlan::bare(Arc::clone(trace)).with_temporal(Box::new(Streamline::new()))
 }
 
 /// Measures one hot-path phase as the fastest of three measurement
@@ -75,7 +78,7 @@ fn streamline_plan(trace: &Trace) -> CorePlan {
 /// The trace is generated once outside the timed region; each run
 /// re-creates the engine (hierarchy + prefetcher setup is part of a
 /// simulation's real cost and is reported as-is).
-fn hotpath_phase(name: &'static str, trace: &Trace, budget: Duration) -> PhaseResult {
+fn hotpath_phase(name: &'static str, trace: &Arc<Trace>, budget: Duration) -> PhaseResult {
     // One untimed warmup run (page-faults the trace, warms the branch
     // predictors) so short budgets are not dominated by first-run cost.
     black_box(
@@ -157,8 +160,8 @@ fn baseline(name: &str) -> Option<(f64, f64)> {
 /// Runs the hot-path phases and returns their results.
 fn run_hotpath(budget: Duration) -> Vec<PhaseResult> {
     vec![
-        hotpath_phase("pointer_chase", &pointer_chase_trace(), budget),
-        hotpath_phase("store_heavy", &store_heavy_trace(), budget),
+        hotpath_phase("pointer_chase", &Arc::new(pointer_chase_trace()), budget),
+        hotpath_phase("store_heavy", &Arc::new(store_heavy_trace()), budget),
     ]
 }
 
@@ -316,12 +319,12 @@ fn main() {
     // End-to-end simulator throughput on a small trace.
     {
         let w = workloads::by_name("spec06.bzip2").unwrap();
-        let trace = w.generate(Scale::Test);
+        let trace = w.generate_shared(Scale::Test);
         let accesses = trace.len();
         let start = Instant::now();
         let mut runs = 0u32;
         while start.elapsed() < Duration::from_secs(2) {
-            let plan = CorePlan::bare(trace.clone());
+            let plan = CorePlan::bare(Arc::clone(&trace));
             black_box(Engine::new(SystemConfig::single_core(), vec![plan]).run());
             runs += 1;
         }

@@ -104,7 +104,9 @@ pub fn run_jobs(jobs: &[SweepJob]) -> Vec<tpsim::SimReport> {
             Err(e) => eprintln!("  tpserve at {addr} unusable ({e}); running locally"),
         }
     }
-    runner().run(jobs)
+    let reports = runner().run(jobs);
+    eprintln!("  {}", runner().pool_summary());
+    reports
 }
 
 /// Runs `pool` under `base` and `with` through [`run_jobs`] (server

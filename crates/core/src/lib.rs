@@ -34,6 +34,7 @@
 //!
 //! let mut pf = Streamline::new();
 //! let mut prefetched = Vec::new();
+//! let mut scratch = Vec::new();
 //! for pass in 0..3 {
 //!     for i in 0..32u64 {
 //!         let mut ctx = MetaCtx::new(0, 0.9);
@@ -43,10 +44,10 @@
 //!             kind: L2EventKind::DemandMiss,
 //!             now: 0,
 //!         };
+//!         scratch.clear();
+//!         pf.on_event(&mut ctx, ev, &mut scratch);
 //!         if pass == 2 {
-//!             prefetched.extend(pf.on_event(&mut ctx, ev));
-//!         } else {
-//!             pf.on_event(&mut ctx, ev);
+//!             prefetched.extend(scratch.drain(..));
 //!         }
 //!     }
 //! }

@@ -131,7 +131,7 @@ fn main() {
                 &["name", "suite", "irregular", "accesses (test scale)"],
             );
             for w in workloads::memory_intensive() {
-                let n = w.generate(Scale::Test).len();
+                let n = w.generate_shared(Scale::Test).len();
                 t.row(&[
                     w.name.to_string(),
                     format!("{:?}", w.suite),
@@ -196,7 +196,7 @@ fn main() {
             let name = o.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
             let path = o.positional.get(2).map(String::as_str).unwrap_or_else(|| usage());
             let w = workload_or_exit(name);
-            let trace = w.generate(o.scale);
+            let trace = w.generate_shared(o.scale);
             tptrace::io::save(&trace, path).unwrap_or_else(|e| {
                 eprintln!("export failed: {e}");
                 std::process::exit(1);

@@ -72,7 +72,9 @@ impl Experiment {
     }
 
     fn plan(&self, w: &Workload) -> CorePlan {
-        let mut plan = CorePlan::bare(w.generate(self.scale));
+        // Shared-pool path: every experiment asking for the same
+        // (workload, seed, scale) replays one pooled Arc<Trace>.
+        let mut plan = CorePlan::bare(w.generate_shared(self.scale));
         if let Some(p) = self.l1.build() {
             plan = plan.with_l1(p);
         }

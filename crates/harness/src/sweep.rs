@@ -184,6 +184,8 @@ impl SweepRunner {
     /// parallelism (see [`crate::jobs::worker_count`], the policy shared
     /// with the figure binaries and the simulation server).
     pub fn new() -> Self {
+        // Honour TPSIM_TRACE_CACHE_MB before any job generates a trace.
+        crate::jobs::configure_trace_pool();
         let workers = crate::jobs::worker_count(None);
         SweepRunner {
             workers,
@@ -234,6 +236,25 @@ impl SweepRunner {
     /// Number of distinct job keys currently held by the result cache.
     pub fn cached_jobs(&self) -> usize {
         self.cache.lock().expect("sweep cache lock").len()
+    }
+
+    /// One-line summary of the process-wide trace pool's counters, for
+    /// the end-of-sweep status line the figure binaries print. The pool
+    /// is process-global, so the numbers cover every sweep in the
+    /// process, not just this runner's jobs.
+    pub fn pool_summary(&self) -> String {
+        let s = tptrace::pool::global().stats();
+        format!(
+            "trace-pool: hits={} misses={} generations={} evictions={} \
+             resident={}KiB peak={}KiB entries={}",
+            s.hits,
+            s.misses,
+            s.generations,
+            s.evictions,
+            s.resident_bytes / 1024,
+            s.peak_resident_bytes / 1024,
+            s.entries
+        )
     }
 
     /// Runs every job and returns the reports **in job order**. Jobs

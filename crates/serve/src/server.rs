@@ -340,6 +340,7 @@ impl Service {
         };
         let hist = self.hist.lock().expect("hist lock").clone();
         let c = &self.counters;
+        let tp = tptrace::pool::global().stats();
         obj(vec![
             ("status", Value::Str("ok".into())),
             (
@@ -363,6 +364,18 @@ impl Service {
                     (
                         "sweep_cache_entries",
                         Value::u64(self.runner.cached_jobs() as u64),
+                    ),
+                    (
+                        // Process-wide trace pool (see tptrace::pool):
+                        // how much trace generation the workers shared.
+                        "trace_pool",
+                        obj(vec![
+                            ("hits", Value::u64(tp.hits)),
+                            ("misses", Value::u64(tp.misses)),
+                            ("generations", Value::u64(tp.generations)),
+                            ("evictions", Value::u64(tp.evictions)),
+                            ("resident_bytes", Value::u64(tp.resident_bytes as u64)),
+                        ]),
                     ),
                     (
                         "service_time_us",
@@ -906,10 +919,15 @@ mod tests {
             "failed",
             "cache_entries",
             "sweep_cache_entries",
+            "trace_pool",
             "service_time_us",
             "uptime_ms",
         ] {
             assert!(stats.get(field).is_some(), "stats missing {field}");
+        }
+        let tp = stats.get("trace_pool").unwrap();
+        for field in ["hits", "misses", "generations", "evictions", "resident_bytes"] {
+            assert!(tp.get(field).is_some(), "trace_pool missing {field}");
         }
         // The whole response is wire-parseable.
         assert!(parse(&v.encode()).is_ok());

@@ -10,13 +10,17 @@ use crate::prefetch::{
     AccessPrefetcher, MetaCtx, PartitionSpec, TemporalEvent, TemporalPrefetcher,
 };
 use crate::stats::{CoreReport, SimReport, TemporalStats};
+use std::sync::Arc;
 use tptrace::record::{AccessKind, Line};
 use tptrace::Trace;
 
 /// Everything attached to one simulated core.
 pub struct CorePlan {
-    /// The trace to replay.
-    pub trace: Trace,
+    /// The trace to replay. Held by `Arc` so a mix whose cores run the
+    /// same workload — and parallel sweep jobs across experiments —
+    /// replay one shared allocation instead of cloning megabytes of
+    /// trace per core (see [`tptrace::pool`]).
+    pub trace: Arc<Trace>,
     /// Optional L1D prefetcher (stride / Berti).
     pub l1_prefetcher: Option<Box<dyn AccessPrefetcher>>,
     /// Optional regular L2 prefetcher (IPCP / Bingo / SPP-PPF).
@@ -26,10 +30,11 @@ pub struct CorePlan {
 }
 
 impl CorePlan {
-    /// A plan with no prefetchers.
-    pub fn bare(trace: Trace) -> Self {
+    /// A plan with no prefetchers. Accepts an owned [`Trace`] or a
+    /// shared `Arc<Trace>` from the trace pool.
+    pub fn bare(trace: impl Into<Arc<Trace>>) -> Self {
         CorePlan {
-            trace,
+            trace: trace.into(),
             l1_prefetcher: None,
             l2_prefetcher: None,
             temporal: None,
@@ -316,15 +321,15 @@ impl Engine {
         {
             return;
         }
-        let access = &trace.accesses()[s.processed % trace.len()];
-        s.pending_issue = Some(s.timing.begin_access(access));
+        let access = trace.get(s.processed % trace.len());
+        s.pending_issue = Some(s.timing.begin_access(&access));
     }
 
     /// Processes the core's pending access end-to-end.
     fn step(&mut self, core: usize) {
         let issue = self.states[core].pending_issue.take().expect("primed");
         let idx = self.states[core].processed % self.plans[core].trace.len();
-        let access = self.plans[core].trace.accesses()[idx];
+        let access = self.plans[core].trace.get(idx);
         self.states[core].processed += 1;
 
         let tag = self.states[core].address_tag;

@@ -110,7 +110,7 @@ pub fn to_bytes(trace: &Trace) -> Vec<u8> {
     // same PC's previous access are tiny even when PCs interleave.
     let mut last_addr: std::collections::HashMap<u64, i64> =
         std::collections::HashMap::new();
-    for a in trace.accesses() {
+    for a in trace.iter() {
         // Flag byte: bit0 store, bit1 dep, bit2 same-pc, bits 3.. gap.
         let same_pc = a.pc.0 == last_pc;
         let flags: u64 = (a.kind == AccessKind::Store) as u64

@@ -29,12 +29,14 @@
 pub mod gen;
 pub mod io;
 pub mod mix;
+pub mod pool;
 pub mod record;
 pub mod rng;
 pub mod trace;
 pub mod workloads;
 
 pub use mix::{Mix, MixGenerator};
+pub use pool::{PoolKey, PoolStats, TracePool};
 pub use record::{Access, AccessKind, Addr, Dep, Pc, LINE_SIZE};
 pub use trace::{Trace, TraceBuilder, TraceStats};
 pub use workloads::{Scale, Suite, Workload, WorkloadId};

@@ -1,29 +1,138 @@
 //! In-memory access traces and trace-level statistics.
+//!
+//! ## Packed struct-of-arrays layout
+//!
+//! A [`Trace`] is replayed millions of times by the engine but mutated
+//! never, so it stores its accesses as parallel arrays instead of a
+//! `Vec<Access>`: a per-access `addrs` word, a packed `meta` word
+//! holding kind/dep/gap, and a 4-byte index into a small PC dictionary
+//! (real traces touch a handful of distinct PCs, so the dictionary is
+//! negligible). An [`Access`] is 24 bytes with padding; the packed
+//! layout is 16 bytes per access and keeps the replay loop walking
+//! dense, independently prefetchable streams. [`Access`] remains
+//! the builder/generator-facing view: [`TraceBuilder`] accepts it and
+//! [`Trace::get`]/[`Trace::iter`] reconstitute it on demand, so code
+//! that produces or inspects traces never sees the packing.
+//!
+//! Summary statistics are computed once at construction and cached
+//! ([`Trace::stats`] is O(1)), since every report path asks for them
+//! and the arrays never change.
 
-use crate::record::{Access, AccessKind, Dep, Line};
+use crate::record::{Access, AccessKind, Addr, Dep, Pc};
 use crate::workloads::Suite;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// Largest representable non-memory instruction gap (30 bits). Gaps
+/// beyond this saturate at construction time; every generator in this
+/// repo stays far below it (typical gaps are single digits).
+pub const MAX_GAP: u32 = (1 << 30) - 1;
+
+/// `meta` bit flagging a store (vs load).
+const STORE_BIT: u32 = 1 << 31;
+/// `meta` bit flagging a dependent (pointer-chase) load.
+const DEP_BIT: u32 = 1 << 30;
+
+#[inline]
+fn pack_meta(kind: AccessKind, dep: Dep, gap: u32) -> u32 {
+    let mut m = gap.min(MAX_GAP);
+    if kind == AccessKind::Store {
+        m |= STORE_BIT;
+    }
+    if dep == Dep::PrevLoad {
+        m |= DEP_BIT;
+    }
+    m
+}
+
+#[inline]
+fn unpack_meta(m: u32) -> (AccessKind, Dep, u32) {
+    (
+        if m & STORE_BIT != 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        },
+        if m & DEP_BIT != 0 { Dep::PrevLoad } else { Dep::None },
+        m & MAX_GAP,
+    )
+}
 
 /// A complete, replayable memory access trace for one simulated core.
 ///
 /// Traces are produced by the generators in [`crate::gen`] and consumed by
 /// the `tpsim` engine. A trace records only memory accesses; non-memory
 /// instructions are represented by each access's `gap` field.
+///
+/// Internally the accesses live in a packed struct-of-arrays layout
+/// (see the module docs); traces are immutable once built, which is
+/// what lets the process-wide [`crate::pool`] hand the same
+/// `Arc<Trace>` to every replayer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     name: String,
     suite: Suite,
-    accesses: Vec<Access>,
+    /// Distinct PCs in first-appearance order.
+    pc_table: Vec<u64>,
+    /// Per-access index into `pc_table`.
+    pc_ix: Vec<u32>,
+    addrs: Vec<u64>,
+    meta: Vec<u32>,
+    stats: TraceStats,
 }
 
 impl Trace {
     /// Creates a trace from parts. Prefer [`TraceBuilder`] in generators.
+    ///
+    /// Packs the accesses into the struct-of-arrays layout and computes
+    /// the cached [`TraceStats`] in the same pass. Gaps above
+    /// [`MAX_GAP`] saturate.
     pub fn new(name: impl Into<String>, suite: Suite, accesses: Vec<Access>) -> Self {
+        let n = accesses.len();
+        let mut pc_table = Vec::new();
+        let mut pc_index: HashMap<u64, u32> = HashMap::new();
+        let mut pc_ix = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        let mut meta = Vec::with_capacity(n);
+        let mut lines = HashSet::new();
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut dependent = 0u64;
+        let mut instructions = 0u64;
+        for a in &accesses {
+            let ix = *pc_index.entry(a.pc.0).or_insert_with(|| {
+                pc_table.push(a.pc.0);
+                (pc_table.len() - 1) as u32
+            });
+            pc_ix.push(ix);
+            addrs.push(a.addr.0);
+            let m = pack_meta(a.kind, a.dep, a.gap);
+            meta.push(m);
+            lines.insert(a.addr.line());
+            match a.kind {
+                AccessKind::Load => loads += 1,
+                AccessKind::Store => stores += 1,
+            }
+            if a.dep == Dep::PrevLoad {
+                dependent += 1;
+            }
+            instructions += 1 + (m & MAX_GAP) as u64;
+        }
         Trace {
             name: name.into(),
             suite,
-            accesses,
+            pc_table,
+            pc_ix,
+            addrs,
+            meta,
+            stats: TraceStats {
+                accesses: n as u64,
+                instructions,
+                loads,
+                stores,
+                dependent_loads: dependent,
+                unique_lines: lines.len() as u64,
+            },
         }
     }
 
@@ -37,70 +146,112 @@ impl Trace {
         self.suite
     }
 
-    /// The recorded accesses, in program order.
-    pub fn accesses(&self) -> &[Access] {
-        &self.accesses
+    /// Reconstitutes the access at `idx` from the packed arrays.
+    ///
+    /// This is the replay hot path: three dense array loads, no
+    /// allocation.
+    ///
+    /// # Panics
+    /// Panics if `idx >= self.len()`.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Access {
+        let (kind, dep, gap) = unpack_meta(self.meta[idx]);
+        Access {
+            pc: Pc(self.pc_table[self.pc_ix[idx] as usize]),
+            addr: Addr(self.addrs[idx]),
+            kind,
+            dep,
+            gap,
+        }
+    }
+
+    /// The recorded accesses, in program order, **materialized** into a
+    /// fresh `Vec`. This is an O(n) reconstruction from the packed
+    /// arrays — convenient for tests and offline tools; replay loops
+    /// should use [`Trace::get`] or [`Trace::iter`] instead.
+    pub fn accesses(&self) -> Vec<Access> {
+        self.iter().collect()
     }
 
     /// Number of memory accesses in the trace.
     pub fn len(&self) -> usize {
-        self.accesses.len()
+        self.pc_ix.len()
     }
 
     /// Whether the trace holds no accesses.
     pub fn is_empty(&self) -> bool {
-        self.accesses.is_empty()
+        self.pc_ix.is_empty()
     }
 
     /// Total instruction count represented (accesses plus gaps).
     pub fn instructions(&self) -> u64 {
-        self.accesses.iter().map(|a| a.instructions()).sum()
+        self.stats.instructions
     }
 
-    /// Iterate over accesses.
-    pub fn iter(&self) -> std::slice::Iter<'_, Access> {
-        self.accesses.iter()
+    /// Iterate over accesses (reconstituted by value; `Access` is
+    /// `Copy`).
+    pub fn iter(&self) -> Accesses<'_> {
+        Accesses { trace: self, idx: 0 }
     }
 
-    /// Computes summary statistics for the trace.
+    /// Summary statistics for the trace, computed once at construction.
     pub fn stats(&self) -> TraceStats {
-        let mut lines = HashSet::new();
-        let mut loads = 0u64;
-        let mut stores = 0u64;
-        let mut dependent = 0u64;
-        for a in &self.accesses {
-            lines.insert(a.addr.line());
-            match a.kind {
-                AccessKind::Load => loads += 1,
-                AccessKind::Store => stores += 1,
-            }
-            if a.dep == Dep::PrevLoad {
-                dependent += 1;
-            }
-        }
-        TraceStats {
-            accesses: self.accesses.len() as u64,
-            instructions: self.instructions(),
-            loads,
-            stores,
-            dependent_loads: dependent,
-            unique_lines: lines.len() as u64,
-        }
+        self.stats
     }
 
-    /// Unique cache lines touched by the trace.
+    /// Unique cache lines touched by the trace (cached at build time).
     pub fn footprint_lines(&self) -> u64 {
-        let set: HashSet<Line> = self.accesses.iter().map(|a| a.addr.line()).collect();
-        set.len() as u64
+        self.stats.unique_lines
+    }
+
+    /// Heap bytes resident for this trace's packed arrays and name —
+    /// the quantity the trace pool's byte accounting and eviction
+    /// policy operate on.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.name.len()
+            + self.pc_table.capacity() * std::mem::size_of::<u64>()
+            + self.pc_ix.capacity() * std::mem::size_of::<u32>()
+            + self.addrs.capacity() * std::mem::size_of::<u64>()
+            + self.meta.capacity() * std::mem::size_of::<u32>()
     }
 }
 
+/// Iterator over a trace's accesses, reconstituting each [`Access`]
+/// from the packed arrays (see [`Trace::iter`]).
+#[derive(Clone, Debug)]
+pub struct Accesses<'a> {
+    trace: &'a Trace,
+    idx: usize,
+}
+
+impl Iterator for Accesses<'_> {
+    type Item = Access;
+
+    #[inline]
+    fn next(&mut self) -> Option<Access> {
+        if self.idx >= self.trace.len() {
+            return None;
+        }
+        let a = self.trace.get(self.idx);
+        self.idx += 1;
+        Some(a)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.trace.len() - self.idx;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Accesses<'_> {}
+
 impl<'a> IntoIterator for &'a Trace {
-    type Item = &'a Access;
-    type IntoIter = std::slice::Iter<'a, Access>;
+    type Item = Access;
+    type IntoIter = Accesses<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.accesses.iter()
+        self.iter()
     }
 }
 
@@ -216,7 +367,7 @@ impl TraceBuilder {
         self.accesses.is_empty()
     }
 
-    /// Finalises the trace.
+    /// Finalises the trace (packing it into the SoA layout).
     pub fn finish(self) -> Trace {
         Trace::new(self.name, self.suite, self.accesses)
     }
@@ -270,5 +421,93 @@ mod tests {
             b.load(1, (i % 10) * 64);
         }
         assert_eq!(b.finish().footprint_lines(), 10);
+    }
+
+    #[test]
+    fn packing_round_trips_every_field() {
+        // Every (kind, dep, gap) combination survives pack/unpack, and
+        // get/iter/accesses agree with the originals.
+        let mut originals = Vec::new();
+        for (i, &kind) in [AccessKind::Load, AccessKind::Store].iter().enumerate() {
+            for (j, &dep) in [Dep::None, Dep::PrevLoad].iter().enumerate() {
+                for (k, &gap) in [0u32, 1, 2, 255, MAX_GAP].iter().enumerate() {
+                    originals.push(Access {
+                        pc: Pc(0x400_000 + (i * 100 + j * 10 + k) as u64),
+                        addr: Addr(u64::MAX - (i + j + k) as u64 * 64),
+                        kind,
+                        dep,
+                        gap,
+                    });
+                }
+            }
+        }
+        let t = Trace::new("pack", Suite::Gap, originals.clone());
+        assert_eq!(t.accesses(), originals);
+        for (i, want) in originals.iter().enumerate() {
+            assert_eq!(t.get(i), *want, "access {i}");
+        }
+        assert_eq!(t.iter().count(), originals.len());
+    }
+
+    #[test]
+    fn oversized_gaps_saturate_at_max_gap() {
+        let t = Trace::new(
+            "sat",
+            Suite::Gap,
+            vec![Access {
+                gap: u32::MAX,
+                ..Access::load(1, 64)
+            }],
+        );
+        assert_eq!(t.get(0).gap, MAX_GAP);
+        // The cached instruction count uses the saturated gap.
+        assert_eq!(t.instructions(), 1 + MAX_GAP as u64);
+    }
+
+    #[test]
+    fn soa_layout_is_smaller_than_aos() {
+        // A realistic shape: many accesses, few distinct PCs.
+        let accesses: Vec<Access> =
+            (0..1000).map(|i| Access::load(1 + i % 8, i * 64)).collect();
+        let aos_bytes = accesses.len() * std::mem::size_of::<Access>();
+        let t = Trace::new("size", Suite::Gap, accesses);
+        // The per-access arrays cost exactly 16 B each (4 B pc index +
+        // 8 B addr + 4 B meta); the PC dictionary is amortized noise.
+        let per_access = (t.pc_ix.capacity() * 4
+            + t.addrs.capacity() * 8
+            + t.meta.capacity() * 4)
+            / t.len();
+        assert_eq!(per_access, 16, "packed layout is 16 B/access");
+        assert_eq!(t.pc_table.len(), 8, "dictionary holds distinct PCs once");
+        assert!(
+            t.resident_bytes() < aos_bytes * 7 / 10,
+            "SoA {} should be well under AoS {}",
+            t.resident_bytes(),
+            aos_bytes
+        );
+    }
+
+    #[test]
+    fn stats_are_cached_and_consistent_with_recount() {
+        let mut b = TraceBuilder::new("t", Suite::Spec06);
+        for i in 0..500u64 {
+            if i % 7 == 0 {
+                b.store(i % 13, i * 8);
+            } else if i % 3 == 0 {
+                b.dep_load(i % 13, i * 8);
+            } else {
+                b.load(i % 13, i * 8);
+            }
+        }
+        let t = b.finish();
+        let s = t.stats();
+        // Recount from the reconstituted view.
+        let loads = t.iter().filter(|a| a.kind == AccessKind::Load).count() as u64;
+        let stores = t.iter().filter(|a| a.kind == AccessKind::Store).count() as u64;
+        let deps = t.iter().filter(|a| a.dep == Dep::PrevLoad).count() as u64;
+        let instrs: u64 = t.iter().map(|a| a.instructions()).sum();
+        assert_eq!((s.loads, s.stores, s.dependent_loads), (loads, stores, deps));
+        assert_eq!(s.instructions, instrs);
+        assert_eq!(s.accesses, t.len() as u64);
     }
 }

@@ -101,9 +101,34 @@ impl fmt::Debug for Workload {
 }
 
 impl Workload {
-    /// Generates the trace for this workload at the given scale.
+    /// Generates a **private** trace for this workload at the given
+    /// scale, bypassing the shared pool. Prefer
+    /// [`Workload::generate_shared`] anywhere the trace is replayed —
+    /// the private path exists for tests that pin generator determinism
+    /// and tools that mutate or serialize the trace they get back.
     pub fn generate(&self, scale: Scale) -> Trace {
         (self.generator)(scale, self.seed)
+    }
+
+    /// Returns the trace for `(self, scale)` from the process-wide
+    /// [`crate::pool`], generating it on first request. Every caller
+    /// asking for the same `(workload fingerprint, seed, scale)` gets a
+    /// pointer-identical `Arc<Trace>` — concurrent sweep jobs, mix
+    /// cores, and server workers all replay one allocation, and
+    /// concurrent first requests collapse into a single generation.
+    pub fn generate_shared(&self, scale: Scale) -> std::sync::Arc<Trace> {
+        crate::pool::global().get_or_generate(self.pool_key(scale), || self.generate(scale))
+    }
+
+    /// The content address this workload's trace is pooled under: the
+    /// generator function identity plus `(name, seed, scale)`.
+    pub fn pool_key(&self, scale: Scale) -> crate::pool::PoolKey {
+        crate::pool::PoolKey {
+            generator: self.generator as usize,
+            name: self.name,
+            seed: self.seed,
+            scale,
+        }
     }
 
     /// Returns a copy of this workload with its generator seed replaced.

@@ -24,7 +24,9 @@ fn main() {
     };
 
     println!("workload: {} ({:?}, scale {scale})", workload.name, workload.suite);
-    let trace = workload.generate(scale);
+    // Shared-pool fetch: run_single below asks the pool for the same
+    // (workload, seed, scale) key and replays this very allocation.
+    let trace = workload.generate_shared(scale);
     println!("trace: {}", trace.stats());
 
     let base = Experiment::new(scale).l1(L1Kind::Stride);

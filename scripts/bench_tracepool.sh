@@ -1,0 +1,22 @@
+#!/bin/sh
+# Emits BENCH_tracepool.json at the repo root: what the shared trace
+# pool buys an experiment sweep that replays one workload under many
+# configurations. Three measurements (see bench_tracepool.rs):
+#
+#   unpooled  - one private generation per experiment, all copies live
+#               at once (the pre-pool sweep regime);
+#   pooled    - the same requests through the single-flight pool: one
+#               generation, one shared allocation;
+#   sweep gate- a real SweepRunner sweep of N distinct experiments must
+#               perform exactly 1 trace generation.
+#
+# The binary exits non-zero when generation amortization falls under 2x
+# or the sweep gate fails, so this script doubles as a CI check
+# (scripts/check.sh runs it with --smoke).
+#
+# Usage: ./scripts/bench_tracepool.sh [--smoke] [--jobs=N]
+set -e
+cd "$(dirname "$0")/.."
+cargo build --release -p tpbench
+./target/release/bench_tracepool "$@" > BENCH_tracepool.json
+cat BENCH_tracepool.json

@@ -22,6 +22,16 @@ echo "== hot-path equivalence suite (debug: audit + overflow checks on) =="
 cargo test -q --test hot_path_equivalence
 cargo test -q --test golden_snapshot
 
+echo "== trace pool suite (single-flight, eviction, 1-generation sweep) =="
+cargo test -q --test trace_pool
+cargo test -q -p tptrace pool
+
+echo "== trace pool bench gate (4-experiment sweep = 1 generation) =="
+# Run the binary directly so the smoke run does not overwrite the
+# committed full-run BENCH_tracepool.json (regenerate that with
+# ./scripts/bench_tracepool.sh).
+./target/release/bench_tracepool --smoke >/dev/null
+
 echo "== audited quick sweep (release, test scale) =="
 cargo run --release -q -p tpbench --bin fig09_single_core -- \
   --scale=test --audit >/dev/null

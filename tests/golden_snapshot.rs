@@ -144,6 +144,14 @@ const GOLDEN_MULTICORE: &str = include_str!("golden/multicore.txt");
 /// eviction handling, and dirty-victim bookkeeping end to end.
 const GOLDEN_STORE_HEAVY: &str = include_str!("golden/store_heavy.txt");
 
+/// Full counter state of a 2-core mix where **both cores run the same
+/// workload** (gap.bfs twice). With the shared trace pool the two cores
+/// replay one `Arc<Trace>` allocation; this pin proves that sharing the
+/// trace bytes changes nothing — per-core address tags still disjoint
+/// the address spaces, and every counter matches the
+/// private-copy-per-core numbers byte for byte.
+const GOLDEN_SHARED_WORKLOAD: &str = include_str!("golden/multicore_shared.txt");
+
 fn multicore_report() -> SimReport {
     let exp = Experiment::new(Scale::Test)
         .l1(L1Kind::Stride)
@@ -154,6 +162,18 @@ fn multicore_report() -> SimReport {
             workloads::by_name("gap.pr").expect("registry workload"),
             workloads::by_name("spec06.mcf").expect("registry workload"),
         ],
+    };
+    run_mix(&mix, &exp)
+}
+
+fn shared_workload_report() -> SimReport {
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    let w = workloads::by_name("gap.bfs").expect("registry workload");
+    let mix = Mix {
+        index: 0,
+        workloads: vec![w.clone(), w],
     };
     run_mix(&mix, &exp)
 }
@@ -196,6 +216,15 @@ fn multicore_full_counters_match_golden_snapshot() {
         &full_dump(&multicore_report()),
         GOLDEN_MULTICORE,
         "multicore.txt",
+    );
+}
+
+#[test]
+fn shared_workload_mix_full_counters_match_golden_snapshot() {
+    assert_or_regen(
+        &full_dump(&shared_workload_report()),
+        GOLDEN_SHARED_WORKLOAD,
+        "multicore_shared.txt",
     );
 }
 

@@ -65,7 +65,7 @@ fn linemap_matches_hashmap_on_real_address_streams() {
         let trace = w.generate(Scale::Test);
         let mut map: LineMap<u64> = LineMap::with_capacity_for(g.usize_in(1..256));
         let mut reference: HashMap<u64, u64> = HashMap::new();
-        for (i, a) in trace.accesses().iter().enumerate().take(60_000) {
+        for (i, a) in trace.iter().enumerate().take(60_000) {
             let line = a.addr.line();
             let t = i as u64;
             // Mimic the inflight lifecycle: first touch installs a
