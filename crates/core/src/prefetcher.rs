@@ -4,7 +4,7 @@
 
 use crate::config::{PartitionSize, StreamlineConfig};
 use crate::store::{StoreInsert, StreamStore};
-use crate::stream::{align, StreamEntry};
+use crate::stream::{align, StreamEntry, TargetList};
 use crate::training::StreamTu;
 use tpsim::{
     MetaCtx, PartitionSpec, ShadowSets, TemporalEvent, TemporalPrefetcher, TemporalStats,
@@ -200,8 +200,14 @@ impl Streamline {
                 if let Some(tail) = prev_tail {
                     // Shift the window back one access: the prior address
                     // becomes the trigger; the last target spills.
-                    let mut addrs = vec![to_store.trigger];
-                    addrs.extend(to_store.targets.iter().copied());
+                    let mut addrs = TargetList::new();
+                    addrs.push(to_store.trigger);
+                    for &t in to_store.targets.iter() {
+                        if addrs.len() >= self.cfg.stream_len {
+                            break;
+                        }
+                        addrs.push(t);
+                    }
                     addrs.truncate(self.cfg.stream_len);
                     let realigned = StreamEntry::new(tail, addrs);
                     if !self.store.would_filter(realigned.trigger) {

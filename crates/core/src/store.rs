@@ -40,9 +40,23 @@ struct Slot {
     lru: u64,
 }
 
+/// Mirror-array sentinel for a vacant slot. `Line` values are cache
+/// block numbers (addresses shifted right by 6), so `u64::MAX` can
+/// never collide with a real trigger.
+const VACANT: Line = Line(u64::MAX);
+
 #[derive(Clone, Debug, Default)]
 struct MetaSet {
     slots: Vec<Option<Slot>>,
+    /// Dense mirror of each slot's trigger (`VACANT` when empty). The
+    /// demand path scans triggers on every lookup and several times per
+    /// insert; with inline target storage a `Slot` spans multiple cache
+    /// lines, so the scans walk this 8-byte-stride array instead and
+    /// only touch `slots` at the matched index.
+    triggers: Vec<Line>,
+    /// Dense mirror of each slot's partial tag (valid where `triggers`
+    /// is not `VACANT`), for the alias scan.
+    tags: Vec<u16>,
     etr: Option<EtrSet>,
     /// Inserts since the last lookup hit (decayed by hits). Above the
     /// set capacity the set is *thrashing*: its working set cycles
@@ -150,7 +164,7 @@ impl StreamStore {
     /// Creates a store at the configured initial size.
     pub fn new(cfg: StreamlineConfig) -> Self {
         let size = cfg.fixed_size.unwrap_or(cfg.max_size);
-        StreamStore {
+        let mut store = StreamStore {
             sets: (0..cfg.llc_sets).map(|_| MetaSet::default()).collect(),
             // Temporal metadata has long but consistent reuse distances
             // (paper Section IV-E5: 3-bit ETRs suffice); the sampler
@@ -167,6 +181,32 @@ impl StreamStore {
             lookups: 0,
             size,
             cfg,
+        };
+        store.prepare_sets();
+        store
+    }
+
+    /// Pre-sizes every allocated set's slot array (and its ETR state
+    /// when TP-Mockingjay is on) at the current geometry. `insert` keeps
+    /// a lazy-growth fallback, but the demand path must never reach it:
+    /// construction and resize (epoch-granularity events) front-load all
+    /// slot storage here.
+    fn prepare_sets(&mut self) {
+        let cap = self.entries_cap(self.size);
+        let (stride, _) = self.geometry(self.size);
+        let tpmj = self.cfg.tpmj;
+        for (i, set) in self.sets.iter_mut().enumerate() {
+            if i & ((1usize << stride) - 1) != 0 {
+                continue; // not allocated at this size: never inserted into
+            }
+            if set.slots.len() < cap {
+                set.slots.resize_with(cap, || None);
+                set.triggers.resize(cap, VACANT);
+                set.tags.resize(cap, 0);
+            }
+            if tpmj && set.etr.is_none() {
+                set.etr = Some(EtrSet::new(cap, 8));
+            }
         }
     }
 
@@ -291,6 +331,8 @@ impl StreamStore {
         let set = &mut self.sets[set_idx];
         if set.slots.len() < cap {
             set.slots.resize_with(cap, || None);
+            set.triggers.resize(cap, VACANT);
+            set.tags.resize(cap, 0);
         }
         if tpmj && set.etr.is_none() {
             set.etr = Some(EtrSet::new(cap, 8));
@@ -300,17 +342,34 @@ impl StreamStore {
         }
 
         // Count redundant correlations already present in this set.
-        // Entries hold ~4 targets, so the nested pair walk beats
-        // materialising pair Vecs (the old `pairs()` allocation was the
+        // The candidate's pairs are materialised once on the stack, and
+        // each resident entry's pairs once per slot, so the quadratic
+        // probe runs over two flat slices instead of re-built iterator
+        // chains (and allocates nothing — the old `pairs()` Vec was the
         // single hottest allocation site on the insert path).
+        let mut epairs = [(Line(0), Line(0)); crate::stream::MAX_STREAM_LEN];
+        let mut en = 0usize;
+        for p in entry.pair_iter() {
+            epairs[en] = p;
+            en += 1;
+        }
         let mut redundant_pairs = 0;
-        for slot in set.slots[..cap].iter().flatten() {
-            if slot.entry.trigger == entry.trigger {
-                continue; // same trigger: an overwrite, handled below
+        for (i, &t) in set.triggers[..cap].iter().enumerate() {
+            if t == VACANT || t == entry.trigger {
+                continue; // vacant, or same trigger: an overwrite, handled below
             }
-            redundant_pairs += entry
-                .pair_iter()
-                .filter(|p| slot.entry.pair_iter().any(|q| q == *p))
+            let slot = set.slots[i].as_ref().expect("mirror says occupied");
+            let mut spairs = [(Line(0), Line(0)); crate::stream::MAX_STREAM_LEN];
+            let mut sn = 0usize;
+            let mut prev = slot.entry.trigger;
+            for &tgt in slot.entry.targets.iter() {
+                spairs[sn] = (prev, tgt);
+                prev = tgt;
+                sn += 1;
+            }
+            redundant_pairs += epairs[..en]
+                .iter()
+                .filter(|p| spairs[..sn].contains(p))
                 .count();
         }
 
@@ -332,25 +391,19 @@ impl StreamStore {
             }
         };
 
-        let mut victim: Option<usize> = None;
-        for (i, s) in set.slots[..cap].iter().enumerate() {
-            match s {
-                Some(sl) if sl.entry.trigger == entry.trigger => {
-                    victim = Some(i);
-                    break;
-                }
-                _ => {}
-            }
-        }
+        let mut victim: Option<usize> = set.triggers[..cap]
+            .iter()
+            .position(|&t| t == entry.trigger);
         // Partial-tag aliasing (Section V-D5): an aliased trigger must
         // share the aliased entry's LLC way, constraining placement to
         // that way group (4 entries per way).
         let mut alias_group: Option<usize> = None;
         if victim.is_none() && tsp {
-            if let Some(i) = set.slots[..cap].iter().position(|s| {
-                s.as_ref()
-                    .is_some_and(|sl| sl.partial_tag == tag && sl.entry.trigger != entry.trigger)
-            }) {
+            if let Some(i) = set.triggers[..cap]
+                .iter()
+                .zip(&set.tags[..cap])
+                .position(|(&t, &tg)| t != VACANT && tg == tag && t != entry.trigger)
+            {
                 self.alias_conflicts += 1;
                 alias_group = Some(i / stream_len.max(1));
             }
@@ -359,10 +412,10 @@ impl StreamStore {
             alias_group.is_none_or(|g| i / stream_len.max(1) == g)
         };
         if victim.is_none() {
-            victim = set.slots[..cap]
+            victim = set.triggers[..cap]
                 .iter()
                 .enumerate()
-                .position(|(i, s)| s.is_none() && placement_ok(i) && group_ok(i));
+                .position(|(i, &t)| t == VACANT && placement_ok(i) && group_ok(i));
         }
         set.inserts_since_hit = set.inserts_since_hit.saturating_add(1);
         if set.inserts_since_hit as usize > 4 * cap {
@@ -383,6 +436,8 @@ impl StreamStore {
         let redundant = set.slots[victim]
             .as_ref()
             .is_some_and(|s| s.entry == entry);
+        set.triggers[victim] = entry.trigger;
+        set.tags[victim] = tag;
         set.slots[victim] = Some(Slot {
             entry,
             partial_tag: tag,
@@ -422,9 +477,9 @@ impl StreamStore {
             credit[size_rank(s)] = self.allocated_at(set_idx, s);
         }
         let set = &mut self.sets[set_idx];
-        let pos = set.slots[..cap.min(set.slots.len())]
+        let pos = set.triggers[..cap.min(set.triggers.len())]
             .iter()
-            .position(|s| s.as_ref().is_some_and(|sl| sl.entry.trigger == trigger))?;
+            .position(|&t| t == trigger)?;
         let slot = set.slots[pos].as_mut().expect("present");
         slot.lru = clock;
         set.inserts_since_hit = set.inserts_since_hit.saturating_sub(4);
@@ -447,12 +502,10 @@ impl StreamStore {
     /// Reads the first target stored for `trigger` without touching any
     /// replacement state (training-time measurement).
     pub fn peek_first_target(&self, trigger: Line) -> Option<Line> {
-        let set_idx = self.set_of(trigger);
-        self.sets[set_idx]
-            .slots
-            .iter()
-            .flatten()
-            .find(|s| s.entry.trigger == trigger)
+        let set = &self.sets[self.set_of(trigger)];
+        let pos = set.triggers.iter().position(|&t| t == trigger)?;
+        set.slots[pos]
+            .as_ref()
             .and_then(|s| s.entry.targets.first().copied())
     }
 
@@ -474,6 +527,8 @@ impl StreamStore {
                     report.dropped_entries +=
                         set.slots.iter().filter(|s| s.is_some()).count();
                     set.slots.clear();
+                    set.triggers.clear();
+                    set.tags.clear();
                     set.etr = None;
                 } else if set.slots.len() > cap {
                     // Fewer ways at the new size (hybrid Quarter):
@@ -483,6 +538,8 @@ impl StreamStore {
                     report.dropped_entries +=
                         set.slots[cap..].iter().filter(|s| s.is_some()).count();
                     set.slots.truncate(cap);
+                    set.triggers.truncate(cap);
+                    set.tags.truncate(cap);
                     set.etr = None; // sized for the old ways; rebuilt lazily
                 } else if set.slots.len() < cap {
                     // More ways: ETR state sized for the smaller
@@ -499,6 +556,8 @@ impl StreamStore {
                 for s in set.slots.drain(..).flatten() {
                     entries.push((s.entry, s.partial_tag));
                 }
+                set.triggers.clear();
+                set.tags.clear();
                 set.etr = None;
             }
             self.size = size;
@@ -513,9 +572,13 @@ impl StreamStore {
                 let set = &mut self.sets[set_idx];
                 if set.slots.len() < cap {
                     set.slots.resize_with(cap, || None);
+                    set.triggers.resize(cap, VACANT);
+                    set.tags.resize(cap, 0);
                 }
                 self.clock += 1;
                 if let Some(free) = set.slots.iter().position(|s| s.is_none()) {
+                    set.triggers[free] = entry.trigger;
+                    set.tags[free] = tag;
                     set.slots[free] = Some(Slot {
                         entry,
                         partial_tag: tag,
@@ -526,6 +589,9 @@ impl StreamStore {
                 }
             }
         }
+        // Re-front-load slot storage at the new geometry so the demand
+        // path stays allocation-free after the resize.
+        self.prepare_sets();
         report
     }
 
@@ -587,11 +653,12 @@ impl StreamStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::TargetList;
 
     fn entry(trigger: u64, base: u64) -> StreamEntry {
         StreamEntry::new(
             Line(trigger),
-            (1..=4).map(|i| Line(base + i)).collect(),
+            (1..=4).map(|i| Line(base + i)).collect::<TargetList>(),
         )
     }
 

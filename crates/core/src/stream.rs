@@ -1,7 +1,146 @@
 //! Stream entries — the paper's core metadata representation — and the
 //! stream-alignment operation (Section IV-B2, Figures 3 and 4).
+//!
+//! ## Inline target storage
+//!
+//! A [`StreamEntry`] used to hold its targets in a `Vec<Line>`, which
+//! put one heap allocation (often several, counting clones and the
+//! alignment scratch) on every training event — the dominant residual
+//! allocation source on the simulator's demand path. Targets now live
+//! in a fixed-capacity inline array ([`TargetList`]): the hardware
+//! proposal bounds streams at a few correlations per entry, so
+//! [`MAX_STREAM_LEN`] covers every configuration the repo sweeps
+//! (Figure 12 tops out at `stream_len = 16`) and entry construction,
+//! cloning, and [`align`] are allocation-free.
 
 use tptrace::record::Line;
+
+/// Upper bound on `stream_len`: the number of correlated targets a
+/// [`StreamEntry`] can hold inline. The Figure 12 sweep's largest
+/// configuration is 16; [`crate::StreamlineConfig`] validation rejects
+/// anything larger.
+pub const MAX_STREAM_LEN: usize = 16;
+
+/// A fixed-capacity inline list of correlated target lines.
+///
+/// Behaves like a small `Vec<Line>` bounded by [`MAX_STREAM_LEN`]:
+/// dereferences to `&[Line]`, compares by its valid prefix only, and
+/// clones by `memcpy`. Pushing beyond capacity panics — callers clamp
+/// to `stream_len`, which config validation keeps within bounds.
+#[derive(Clone)]
+pub struct TargetList {
+    len: u8,
+    buf: [Line; MAX_STREAM_LEN],
+}
+
+impl TargetList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        TargetList {
+            len: 0,
+            buf: [Line(0); MAX_STREAM_LEN],
+        }
+    }
+
+    /// Appends a target.
+    ///
+    /// # Panics
+    /// Panics if the list already holds [`MAX_STREAM_LEN`] targets.
+    #[inline]
+    pub fn push(&mut self, line: Line) {
+        assert!(
+            (self.len as usize) < MAX_STREAM_LEN,
+            "TargetList overflow (MAX_STREAM_LEN = {MAX_STREAM_LEN})"
+        );
+        self.buf[self.len as usize] = line;
+        self.len += 1;
+    }
+
+    /// Removes all targets (capacity is inline, nothing to free).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Shortens the list to at most `n` targets.
+    #[inline]
+    pub fn truncate(&mut self, n: usize) {
+        self.len = self.len.min(n.min(MAX_STREAM_LEN) as u8);
+    }
+
+    /// The valid targets as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Line] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl Default for TargetList {
+    fn default() -> Self {
+        TargetList::new()
+    }
+}
+
+impl std::ops::Deref for TargetList {
+    type Target = [Line];
+
+    #[inline]
+    fn deref(&self) -> &[Line] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for TargetList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for TargetList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TargetList {}
+
+impl PartialEq<Vec<Line>> for TargetList {
+    fn eq(&self, other: &Vec<Line>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<TargetList> for Vec<Line> {
+    fn eq(&self, other: &TargetList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<&[Line]> for TargetList {
+    fn from(lines: &[Line]) -> Self {
+        let mut t = TargetList::new();
+        for &l in lines {
+            t.push(l);
+        }
+        t
+    }
+}
+
+impl From<Vec<Line>> for TargetList {
+    fn from(lines: Vec<Line>) -> Self {
+        TargetList::from(lines.as_slice())
+    }
+}
+
+impl FromIterator<Line> for TargetList {
+    fn from_iter<I: IntoIterator<Item = Line>>(iter: I) -> Self {
+        let mut t = TargetList::new();
+        for l in iter {
+            t.push(l);
+        }
+        t
+    }
+}
 
 /// One stream-based metadata entry: a trigger address followed by up to
 /// `stream_len` correlated targets.
@@ -14,14 +153,20 @@ use tptrace::record::Line;
 pub struct StreamEntry {
     /// Trigger address.
     pub trigger: Line,
-    /// Correlated targets, in stream order.
-    pub targets: Vec<Line>,
+    /// Correlated targets, in stream order (inline storage; see
+    /// [`TargetList`]).
+    pub targets: TargetList,
 }
 
 impl StreamEntry {
-    /// Creates an entry.
-    pub fn new(trigger: Line, targets: Vec<Line>) -> Self {
-        StreamEntry { trigger, targets }
+    /// Creates an entry. Accepts anything convertible to a
+    /// [`TargetList`] — a `Vec<Line>`, a slice, or a list moved from
+    /// another entry.
+    pub fn new(trigger: Line, targets: impl Into<TargetList>) -> Self {
+        StreamEntry {
+            trigger,
+            targets: targets.into(),
+        }
     }
 
     /// All addresses in stream order (trigger first).
@@ -74,7 +219,7 @@ pub struct Alignment {
     /// The aligned entry (old trigger, updated correlations).
     pub aligned: StreamEntry,
     /// New-entry targets that did not fit; they seed the next stream.
-    pub leftover: Vec<Line>,
+    pub leftover: TargetList,
 }
 
 /// Performs stream alignment between an `old` entry and a freshly
@@ -88,19 +233,29 @@ pub struct Alignment {
 ///
 /// Returns `None` when `new.trigger` is not in `old`, or only appears as
 /// `old`'s final address (no overlap to merge — the paper skips these).
+///
+/// Allocation-free: the merged sequence (≤ `2 * MAX_STREAM_LEN + 1`
+/// addresses) is assembled on the stack.
 pub fn align(old: &StreamEntry, new: &StreamEntry, stream_len: usize) -> Option<Alignment> {
     let pos = old.position_of(new.trigger)?;
-    let old_addrs: Vec<Line> = old.addresses().collect();
-    if pos == old_addrs.len() - 1 {
+    if pos == old.correlations() {
         return None; // trigger is old's final address: no overlap
     }
     // Merged address sequence: old prefix through new.trigger, then
     // new's targets (the up-to-date continuation).
-    let mut merged: Vec<Line> = old_addrs[..=pos].to_vec();
-    merged.extend(new.targets.iter().copied());
-    let keep = (stream_len + 1).min(merged.len());
-    let aligned = StreamEntry::new(merged[0], merged[1..keep].to_vec());
-    let leftover = merged[keep..].to_vec();
+    let mut merged = [Line(0); 2 * MAX_STREAM_LEN + 1];
+    let mut n = 0usize;
+    for a in old.addresses().take(pos + 1) {
+        merged[n] = a;
+        n += 1;
+    }
+    for &t in new.targets.iter() {
+        merged[n] = t;
+        n += 1;
+    }
+    let keep = (stream_len + 1).min(n);
+    let aligned = StreamEntry::new(merged[0], &merged[1..keep]);
+    let leftover = TargetList::from(&merged[keep..n]);
     Some(Alignment { aligned, leftover })
 }
 
@@ -109,7 +264,10 @@ mod tests {
     use super::*;
 
     fn e(trigger: u64, targets: &[u64]) -> StreamEntry {
-        StreamEntry::new(Line(trigger), targets.iter().map(|&t| Line(t)).collect())
+        StreamEntry::new(
+            Line(trigger),
+            targets.iter().map(|&t| Line(t)).collect::<TargetList>(),
+        )
     }
 
     #[test]
@@ -122,6 +280,34 @@ mod tests {
         assert_eq!(s.successors_of(Line(1)).len(), 4);
         assert_eq!(s.successors_of(Line(99)), &[] as &[Line]);
         assert_eq!(s.pairs().len(), 4);
+    }
+
+    #[test]
+    fn target_list_behaves_like_a_bounded_vec() {
+        let mut t = TargetList::new();
+        assert!(t.is_empty());
+        for i in 0..MAX_STREAM_LEN as u64 {
+            t.push(Line(i));
+        }
+        assert_eq!(t.len(), MAX_STREAM_LEN);
+        assert_eq!(t[3], Line(3));
+        // Equality ignores storage beyond the valid prefix.
+        t.truncate(2);
+        assert_eq!(t, vec![Line(0), Line(1)]);
+        let u: TargetList = vec![Line(0), Line(1)].into();
+        assert_eq!(t, u);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(format!("{t:?}"), "[]");
+    }
+
+    #[test]
+    #[should_panic(expected = "TargetList overflow")]
+    fn target_list_overflow_panics() {
+        let mut t = TargetList::new();
+        for i in 0..=MAX_STREAM_LEN as u64 {
+            t.push(Line(i));
+        }
     }
 
     #[test]
@@ -188,5 +374,19 @@ mod tests {
         for p in new.pairs() {
             assert!(merged_pairs.contains(&p), "lost correlation {p:?}");
         }
+    }
+
+    #[test]
+    fn max_length_alignment_stays_in_bounds() {
+        // Both entries at MAX_STREAM_LEN with a deep overlap: the
+        // merged stack buffer and leftover list must absorb the worst
+        // case without panicking.
+        let old_targets: Vec<u64> = (2..2 + MAX_STREAM_LEN as u64).collect();
+        let old = e(1, &old_targets);
+        let new_targets: Vec<u64> = (100..100 + MAX_STREAM_LEN as u64).collect();
+        let new = e(2, &new_targets);
+        let a = align(&old, &new, MAX_STREAM_LEN).expect("aligns");
+        assert_eq!(a.aligned.correlations(), MAX_STREAM_LEN);
+        assert_eq!(a.leftover.len(), 1);
     }
 }

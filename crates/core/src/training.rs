@@ -3,7 +3,7 @@
 //! (paper Sections IV-E2 and IV-E6).
 
 use crate::config::StreamlineConfig;
-use crate::stream::StreamEntry;
+use crate::stream::{StreamEntry, TargetList, MAX_STREAM_LEN};
 use tptrace::record::{Line, Pc};
 
 /// Result of recording one access in the training unit.
@@ -22,7 +22,7 @@ struct TuSlot {
     tag: u64,
     valid: bool,
     trigger: Option<Line>,
-    targets: Vec<Line>,
+    targets: TargetList,
     /// Final address of the previously completed stream entry.
     prev_tail: Option<Line>,
     /// Per-PC stream metadata buffer, MRU first.
@@ -48,8 +48,22 @@ impl StreamTu {
     /// Builds the training unit from the prefetcher configuration.
     pub fn new(cfg: &StreamlineConfig) -> Self {
         assert!(cfg.tu_entries > 0 && cfg.stream_len > 0);
+        assert!(
+            cfg.stream_len <= MAX_STREAM_LEN,
+            "stream_len {} exceeds MAX_STREAM_LEN {}",
+            cfg.stream_len,
+            MAX_STREAM_LEN
+        );
+        // Buffers are pre-reserved at their steady-state high-water mark
+        // (`buffer_entries` entries plus one insert-before-truncate slot)
+        // so the demand path never grows them: lazy growth was one of
+        // the last allocation sources inside a measured run.
+        let slot = || TuSlot {
+            buffer: Vec::with_capacity(cfg.buffer_entries + 1),
+            ..TuSlot::default()
+        };
         StreamTu {
-            slots: vec![TuSlot::default(); cfg.tu_entries],
+            slots: std::iter::repeat_with(slot).take(cfg.tu_entries).collect(),
             stream_len: cfg.stream_len,
             buffer_entries: cfg.buffer_entries,
             instability_epoch: cfg.instability_epoch,
@@ -70,12 +84,18 @@ impl StreamTu {
         let idx = self.index(pc);
         let s = &mut self.slots[idx];
         if !s.valid || s.tag != pc.0 {
-            *s = TuSlot {
-                tag: pc.0,
-                valid: true,
-                trigger: Some(line),
-                ..TuSlot::default()
-            };
+            // Field-by-field reset (not a struct overwrite): `buffer`
+            // must keep its pre-reserved capacity across PC handoffs or
+            // every slot steal would re-allocate on the demand path.
+            s.tag = pc.0;
+            s.valid = true;
+            s.trigger = Some(line);
+            s.targets.clear();
+            s.prev_tail = None;
+            s.buffer.clear();
+            s.insertions = 0;
+            s.accesses = 0;
+            s.degree = 0;
             return TuObservation::default();
         }
         // Degree epoch bookkeeping.
@@ -117,12 +137,12 @@ impl StreamTu {
     /// Overrides `pc`'s in-flight stream (used by alignment
     /// bootstrapping: the aligned entry's tail plus leftovers seed the
     /// next stream).
-    pub fn bootstrap(&mut self, pc: Pc, trigger: Line, targets: Vec<Line>) {
+    pub fn bootstrap(&mut self, pc: Pc, trigger: Line, targets: impl Into<TargetList>) {
         let idx = self.index(pc);
         let s = &mut self.slots[idx];
         if s.valid && s.tag == pc.0 {
             s.trigger = Some(trigger);
-            s.targets = targets;
+            s.targets = targets.into();
         }
     }
 

@@ -108,6 +108,33 @@ pub fn run_mix(mix: &Mix, exp: &Experiment) -> SimReport {
         .run()
 }
 
+/// [`run_mix`] at an explicit engine batch size. A batch of 1 selects
+/// the serial reference loop; the `batched_equivalence` differential
+/// suite replays the same mix at several batch sizes and asserts the
+/// reports are byte-identical.
+pub fn run_mix_with_batch(mix: &Mix, exp: &Experiment, batch: usize) -> SimReport {
+    let plans: Vec<CorePlan> = mix.workloads.iter().map(|w| exp.plan(w)).collect();
+    Engine::new(exp.system(mix.cores()), plans)
+        .batch_size(batch)
+        .warmup_fraction(exp.warmup)
+        .run()
+}
+
+/// [`run_mix_with_batch`] with cooperative cancellation (see
+/// [`run_single_cancellable`]).
+pub fn run_mix_with_batch_cancellable(
+    mix: &Mix,
+    exp: &Experiment,
+    batch: usize,
+    cancel: &CancelToken,
+) -> Option<SimReport> {
+    let plans: Vec<CorePlan> = mix.workloads.iter().map(|w| exp.plan(w)).collect();
+    Engine::new(exp.system(mix.cores()), plans)
+        .batch_size(batch)
+        .warmup_fraction(exp.warmup)
+        .run_with_cancel(cancel)
+}
+
 /// [`run_single`] with cooperative cancellation: returns `None` if the
 /// token is cancelled at an engine epoch boundary, otherwise exactly
 /// the report `run_single` would produce.

@@ -49,7 +49,7 @@ impl AccessPrefetcher for Berti {
         "berti"
     }
 
-    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool) -> Vec<Line> {
+    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool, out: &mut Vec<Line>) {
         if self.table.len() >= self.max_pcs && !self.table.contains_key(&pc.0) {
             // Cheap capacity control: forget everything when full. Real
             // Berti uses a set-associative table; the effect (bounded
@@ -94,10 +94,7 @@ impl AccessPrefetcher for Berti {
             e.history.remove(0);
         }
 
-        e.best
-            .iter()
-            .map(|&d| Line((line.0 as i64 + d) as u64))
-            .collect()
+        out.extend(e.best.iter().map(|&d| Line((line.0 as i64 + d) as u64)));
     }
 }
 
@@ -105,12 +102,18 @@ impl AccessPrefetcher for Berti {
 mod tests {
     use super::*;
 
+    fn access(b: &mut Berti, pc: u64, line: u64) -> Vec<Line> {
+        let mut out = Vec::new();
+        b.on_access(Pc(pc), Line(line), false, &mut out);
+        out
+    }
+
     #[test]
     fn learns_unit_stride() {
         let mut b = Berti::new();
         let mut out = Vec::new();
         for i in 0..64u64 {
-            out = b.on_access(Pc(1), Line(1000 + i), false);
+            out = access(&mut b, 1, 1000 + i);
         }
         assert!(out.contains(&Line(1064)), "should prefetch +1: {out:?}");
     }
@@ -123,8 +126,7 @@ mod tests {
         let mut l = 1000u64;
         let mut fired = 0usize;
         for i in 0..200 {
-            let out = b.on_access(Pc(2), Line(l), false);
-            fired += out.len();
+            fired += access(&mut b, 2, l).len();
             l += if i % 2 == 0 { 1 } else { 3 };
         }
         assert!(fired > 100, "composite pattern should prefetch: {fired}");
@@ -139,7 +141,7 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            fired += b.on_access(Pc(3), Line(x % 100_000), false).len();
+            fired += access(&mut b, 3, x % 100_000).len();
         }
         assert!(fired < 40, "random pattern fired {fired} prefetches");
     }
@@ -148,7 +150,7 @@ mod tests {
     fn capacity_bound_does_not_grow_unbounded() {
         let mut b = Berti::new();
         for pc in 0..10_000u64 {
-            b.on_access(Pc(pc), Line(pc), false);
+            access(&mut b, pc, pc);
         }
         assert!(b.table.len() <= 256 + 1);
     }

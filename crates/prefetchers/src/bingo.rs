@@ -60,7 +60,7 @@ impl AccessPrefetcher for Bingo {
         "bingo"
     }
 
-    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool) -> Vec<Line> {
+    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool, out: &mut Vec<Line>) {
         let region = line.0 / REGION_LINES;
         let offset = (line.0 % REGION_LINES) as u8;
         let base = region * REGION_LINES;
@@ -74,7 +74,7 @@ impl AccessPrefetcher for Bingo {
                 let ar = self.active.remove(&region).expect("present");
                 self.commit(ar);
             }
-            return Vec::new();
+            return;
         }
 
         // Region trigger: commit the oldest generation if we're full.
@@ -107,13 +107,11 @@ impl AccessPrefetcher for Bingo {
             .or_else(|| self.history.get(&Self::short_key(pc.0)))
             .copied()
             .unwrap_or(0);
-        let mut out = Vec::new();
         for bit in 0..REGION_LINES {
             if footprint & (1 << bit) != 0 && bit != offset as u64 {
                 out.push(Line(base + bit));
             }
         }
-        out
     }
 }
 
@@ -132,20 +130,26 @@ impl Bingo {
 mod tests {
     use super::*;
 
+    fn access(b: &mut Bingo, pc: u64, line: u64) -> Vec<Line> {
+        let mut out = Vec::new();
+        b.on_access(Pc(pc), Line(line), false, &mut out);
+        out
+    }
+
     #[test]
     fn replays_learned_footprint_on_reentry() {
         let mut b = Bingo::new();
         // Generation 1: touch lines {0, 3, 7} of region 100.
         let base = 100 * REGION_LINES;
         for &o in &[0u64, 3, 7] {
-            b.on_access(Pc(0x400), Line(base + o), false);
+            access(&mut b, 0x400, base + o);
         }
         // Touch 64 other regions to evict the active generation.
         for r in 0..64u64 {
-            b.on_access(Pc(0x999), Line((2000 + r) * REGION_LINES), false);
+            access(&mut b, 0x999, (2000 + r) * REGION_LINES);
         }
         // Re-enter region 100 at the same trigger.
-        let out = b.on_access(Pc(0x400), Line(base), false);
+        let out = access(&mut b, 0x400, base);
         assert!(out.contains(&Line(base + 3)), "{out:?}");
         assert!(out.contains(&Line(base + 7)), "{out:?}");
         assert!(!out.contains(&Line(base)), "trigger line excluded");
@@ -156,13 +160,13 @@ mod tests {
         let mut b = Bingo::new();
         let base = 5 * REGION_LINES;
         for &o in &[1u64, 2, 3] {
-            b.on_access(Pc(7), Line(base + o), false);
+            access(&mut b, 7, base + o);
         }
         for r in 0..64u64 {
-            b.on_access(Pc(8), Line((3000 + r) * REGION_LINES), false);
+            access(&mut b, 8, (3000 + r) * REGION_LINES);
         }
         // Re-entry at a *different* offset with the same PC: short event.
-        let out = b.on_access(Pc(7), Line(base + 2), false);
+        let out = access(&mut b, 7, base + 2);
         assert!(out.contains(&Line(base + 1)));
         assert!(out.contains(&Line(base + 3)));
     }
@@ -170,14 +174,14 @@ mod tests {
     #[test]
     fn unknown_regions_are_silent() {
         let mut b = Bingo::new();
-        assert!(b.on_access(Pc(1), Line(42), false).is_empty());
+        assert!(access(&mut b, 1, 42).is_empty());
     }
 
     #[test]
     fn history_is_bounded() {
         let mut b = Bingo::new();
         for r in 0..100_000u64 {
-            b.on_access(Pc(r % 97), Line(r * REGION_LINES), false);
+            access(&mut b, r % 97, r * REGION_LINES);
         }
         assert!(b.history.len() <= 4096 + 2);
     }

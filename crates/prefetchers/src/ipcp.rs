@@ -64,7 +64,7 @@ impl AccessPrefetcher for Ipcp {
         "ipcp"
     }
 
-    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool) -> Vec<Line> {
+    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool, out: &mut Vec<Line>) {
         let idx = self.index(pc);
         let e = &mut self.table[idx];
         if e.tag != pc.0 {
@@ -73,12 +73,12 @@ impl AccessPrefetcher for Ipcp {
                 last_line: line.0,
                 ..IpEntry::default()
             };
-            return Vec::new();
+            return;
         }
         let delta = line.0 as i64 - e.last_line as i64;
         e.last_line = line.0;
         if delta == 0 {
-            return Vec::new();
+            return;
         }
 
         // --- CS class ---
@@ -92,9 +92,10 @@ impl AccessPrefetcher for Ipcp {
         }
         if e.stride_conf >= 2 {
             let stride = e.stride;
-            return (1..=self.degree_cs as i64)
-                .map(|k| Line((line.0 as i64 + stride * k) as u64))
-                .collect();
+            out.extend(
+                (1..=self.degree_cs as i64).map(|k| Line((line.0 as i64 + stride * k) as u64)),
+            );
+            return;
         }
 
         // --- CPLX class: train signature -> delta, predict next ---
@@ -114,7 +115,8 @@ impl AccessPrefetcher for Ipcp {
         let next_sig = e.signature;
         if let Some(&(d, conf)) = self.cplx.get(&next_sig) {
             if conf >= 2 {
-                return vec![Line((line.0 as i64 + d) as u64)];
+                out.push(Line((line.0 as i64 + d) as u64));
+                return;
             }
         }
 
@@ -126,9 +128,8 @@ impl AccessPrefetcher for Ipcp {
         let count = self.regions.entry(region).or_insert(0);
         *count += 1;
         if u64::from(*count) >= REGION_LINES / 2 {
-            return (1..=self.degree_gs as u64).map(|k| Line(line.0 + k)).collect();
+            out.extend((1..=self.degree_gs as u64).map(|k| Line(line.0 + k)));
         }
-        Vec::new()
     }
 }
 
@@ -136,12 +137,18 @@ impl AccessPrefetcher for Ipcp {
 mod tests {
     use super::*;
 
+    fn access(p: &mut Ipcp, pc: u64, line: u64) -> Vec<Line> {
+        let mut out = Vec::new();
+        p.on_access(Pc(pc), Line(line), false, &mut out);
+        out
+    }
+
     #[test]
     fn cs_class_covers_strides() {
         let mut p = Ipcp::new();
         let mut out = Vec::new();
         for i in 0..8u64 {
-            out = p.on_access(Pc(1), Line(100 + 3 * i), false);
+            out = access(&mut p, 1, 100 + 3 * i);
         }
         assert_eq!(out.len(), 4);
         assert_eq!(out[0], Line(100 + 21 + 3));
@@ -155,7 +162,7 @@ mod tests {
         let mut l = 10_000i64;
         let mut fired = 0;
         for i in 0..300 {
-            fired += p.on_access(Pc(2), Line(l as u64), false).len();
+            fired += access(&mut p, 2, l as u64).len();
             l += deltas[i % 3];
         }
         assert!(fired > 50, "cplx should fire on repeating deltas: {fired}");
@@ -168,9 +175,7 @@ mod tests {
         // Dense region touched by many different PCs (defeats per-IP
         // stride tracking because each PC is seen once per region).
         for i in 0..32u64 {
-            fired += p
-                .on_access(Pc(100 + (i % 2)), Line(64_000 + i), false)
-                .len();
+            fired += access(&mut p, 100 + (i % 2), 64_000 + i).len();
         }
         assert!(fired > 0, "dense region should trigger GS prefetches");
     }
@@ -178,7 +183,7 @@ mod tests {
     #[test]
     fn cold_pcs_do_not_prefetch() {
         let mut p = Ipcp::new();
-        assert!(p.on_access(Pc(9), Line(5), false).is_empty());
-        assert!(p.on_access(Pc(10), Line(9_000), false).is_empty());
+        assert!(access(&mut p, 9, 5).is_empty());
+        assert!(access(&mut p, 10, 9_000).is_empty());
     }
 }

@@ -57,7 +57,7 @@ impl AccessPrefetcher for SppPpf {
         "spp-ppf"
     }
 
-    fn on_access(&mut self, _pc: Pc, line: Line, _hit: bool) -> Vec<Line> {
+    fn on_access(&mut self, _pc: Pc, line: Line, _hit: bool, out: &mut Vec<Line>) {
         let page = line.0 / PAGE_LINES;
         let offset = (line.0 % PAGE_LINES) as u8;
 
@@ -71,12 +71,12 @@ impl AccessPrefetcher for SppPpf {
                 last_offset: offset,
                 valid: true,
             };
-            return Vec::new();
+            return;
         }
         let delta = offset as i16 - entry.last_offset as i16;
         entry.last_offset = offset;
         if delta == 0 || delta.unsigned_abs() >= PAGE_LINES as u16 {
-            return Vec::new();
+            return;
         }
         let delta = delta as i8;
 
@@ -99,7 +99,6 @@ impl AccessPrefetcher for SppPpf {
         entry.signature = Self::fold(sig, delta);
 
         // Path walk: follow predicted deltas with multiplying confidence.
-        let mut out = Vec::new();
         let mut conf = 1.0f64;
         let mut sig = entry.signature;
         let mut cur = line.0;
@@ -129,7 +128,6 @@ impl AccessPrefetcher for SppPpf {
             out.push(Line(cur));
             sig = Self::fold(sig, p.delta);
         }
-        out
     }
 }
 
@@ -146,6 +144,12 @@ impl SppPpf {
 mod tests {
     use super::*;
 
+    fn access(p: &mut SppPpf, line: u64) -> Vec<Line> {
+        let mut out = Vec::new();
+        p.on_access(Pc(1), Line(line), false, &mut out);
+        out
+    }
+
     #[test]
     fn learns_unit_stride_within_page() {
         let mut p = SppPpf::new();
@@ -153,7 +157,7 @@ mod tests {
         // Two pages of warmup, then a fresh page: signatures transfer.
         for page in 0..3u64 {
             for o in 0..PAGE_LINES / 2 {
-                out = p.on_access(Pc(1), Line(page * PAGE_LINES + o), false);
+                out = access(&mut p, page * PAGE_LINES + o);
             }
         }
         assert!(!out.is_empty(), "unit stride should walk the path");
@@ -166,7 +170,7 @@ mod tests {
         let mut all = Vec::new();
         for page in 0..3u64 {
             for o in 0..PAGE_LINES {
-                all.extend(p.on_access(Pc(1), Line(page * PAGE_LINES + o), false));
+                all.extend(access(&mut p, page * PAGE_LINES + o));
             }
         }
         // Every prefetch must land inside some page the access touched.
@@ -180,9 +184,7 @@ mod tests {
         let mut fired = 0;
         for _ in 0..400 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            fired += p
-                .on_access(Pc(1), Line((x >> 33) % (PAGE_LINES * 4)), false)
-                .len();
+            fired += access(&mut p, (x >> 33) % (PAGE_LINES * 4)).len();
         }
         assert!(fired < 80, "random fired {fired}");
     }
@@ -196,7 +198,7 @@ mod tests {
         let mut out = Vec::new();
         for page in 0..3u64 {
             for o in 0..PAGE_LINES / 2 {
-                out = p.on_access(Pc(1), Line(page * PAGE_LINES + o), false);
+                out = access(&mut p, page * PAGE_LINES + o);
             }
         }
         assert!(out.is_empty(), "suppressed delta still fired: {out:?}");

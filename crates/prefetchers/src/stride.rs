@@ -60,7 +60,7 @@ impl AccessPrefetcher for IpStride {
         "ip-stride"
     }
 
-    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool) -> Vec<Line> {
+    fn on_access(&mut self, pc: Pc, line: Line, _hit: bool, out: &mut Vec<Line>) {
         let idx = self.index(pc);
         let e = &mut self.table[idx];
         if e.tag != pc.0 {
@@ -70,12 +70,12 @@ impl AccessPrefetcher for IpStride {
                 stride: 0,
                 confidence: 0,
             };
-            return Vec::new();
+            return;
         }
         let delta = line.0 as i64 - e.last_line as i64;
         e.last_line = line.0;
         if delta == 0 {
-            return Vec::new();
+            return;
         }
         if delta == e.stride {
             e.confidence = (e.confidence + 1).min(3);
@@ -86,15 +86,11 @@ impl AccessPrefetcher for IpStride {
             if e.confidence == 0 {
                 e.stride = delta;
             }
-            return Vec::new();
+            return;
         }
         if e.confidence >= 2 {
             let stride = e.stride;
-            (1..=self.degree as i64)
-                .map(|k| Line((line.0 as i64 + stride * k) as u64))
-                .collect()
-        } else {
-            Vec::new()
+            out.extend((1..=self.degree as i64).map(|k| Line((line.0 as i64 + stride * k) as u64)));
         }
     }
 }
@@ -106,7 +102,11 @@ mod tests {
     fn drive(p: &mut IpStride, pc: u64, lines: &[u64]) -> Vec<Vec<Line>> {
         lines
             .iter()
-            .map(|&l| p.on_access(Pc(pc), Line(l), false))
+            .map(|&l| {
+                let mut out = Vec::new();
+                p.on_access(Pc(pc), Line(l), false, &mut out);
+                out
+            })
             .collect()
     }
 
@@ -137,9 +137,14 @@ mod tests {
         let mut p = IpStride::new();
         // Interleave two strided PCs.
         let mut fired = 0;
+        let mut out = Vec::new();
         for i in 0..8u64 {
-            fired += p.on_access(Pc(0x400), Line(100 + i), false).len();
-            fired += p.on_access(Pc(0x500), Line(9000 + 4 * i), false).len();
+            out.clear();
+            p.on_access(Pc(0x400), Line(100 + i), false, &mut out);
+            fired += out.len();
+            out.clear();
+            p.on_access(Pc(0x500), Line(9000 + 4 * i), false, &mut out);
+            fired += out.len();
         }
         assert!(fired > 10, "both PCs should prefetch: {fired}");
     }

@@ -163,6 +163,17 @@ impl CacheLevel {
         set * self.params.ways + way
     }
 
+    /// Software-prefetches the way slots of `line`'s set (advisory; no
+    /// simulated state is read or written). The batched replay loop
+    /// calls this for access `i + 1` while access `i` simulates, so the
+    /// set's `WaySlot` span is already in cache when the demand lookup
+    /// walks it.
+    #[inline]
+    pub fn prefetch_set_hint(&self, line: Line) {
+        let base = self.slot(self.set_of(line), 0);
+        crate::hint::prefetch_read(&self.ways[base]);
+    }
+
     fn usable_ways(&self, set: usize) -> usize {
         self.params.ways - self.reserved[set] as usize
     }

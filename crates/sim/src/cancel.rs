@@ -7,7 +7,7 @@
 //! cancellation latency is bounded (a few microseconds of simulated
 //! work) without putting an atomic load on the per-access hot path.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How many accesses the engine processes between cancellation checks.
@@ -28,7 +28,13 @@ pub const CANCEL_EPOCH: u64 = 4096;
 /// assert!(t2.is_cancelled());
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<Inner>);
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    polls: AtomicU64,
+}
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -38,12 +44,23 @@ impl CancelToken {
 
     /// Requests cancellation. Idempotent; visible to all clones.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+        self.0.cancelled.store(true, Ordering::Release);
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested. Each call is counted
+    /// (see [`CancelToken::polls`]).
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        self.0.polls.fetch_add(1, Ordering::Relaxed);
+        self.0.cancelled.load(Ordering::Acquire)
+    }
+
+    /// How many times [`CancelToken::is_cancelled`] has been called on
+    /// this token (any clone). Diagnostic: the batched-replay
+    /// equivalence suite uses it to assert the engine still polls at
+    /// epoch granularity — batching may stretch the interval between
+    /// polls by at most one block, never collapse polling entirely.
+    pub fn polls(&self) -> u64 {
+        self.0.polls.load(Ordering::Relaxed)
     }
 }
 

@@ -11,7 +11,7 @@ use crate::prefetch::{
 };
 use crate::stats::{CoreReport, SimReport, TemporalStats};
 use std::sync::Arc;
-use tptrace::record::{AccessKind, Line};
+use tptrace::record::{Access, AccessKind, Addr, Line};
 use tptrace::Trace;
 
 /// Everything attached to one simulated core.
@@ -62,6 +62,12 @@ impl CorePlan {
 
 /// Maximum prefetch-queue drain per event, to bound pathological cases.
 const MAX_PREFETCHES_PER_EVENT: usize = 8;
+
+/// Default replay block size (accesses pulled per block from the packed
+/// trace arrays). Large enough to amortise the per-block interleave
+/// scan and bookkeeping over hundreds of accesses, small enough that a
+/// block of `Access` state stays resident in L1 while it replays.
+pub const DEFAULT_BATCH: usize = 256;
 
 /// Accuracy-tracking epoch in issued prefetches (paper Section IV-E4).
 const ACCURACY_EPOCH: u64 = 2048;
@@ -134,6 +140,12 @@ pub struct Engine {
     /// Scratch buffer handed to `TemporalPrefetcher::on_event` each
     /// event (cleared before the call, capacity retained across events).
     prefetch_scratch: Vec<Line>,
+    /// Scratch buffer handed to `AccessPrefetcher::on_access` (same
+    /// protocol as `prefetch_scratch`: cleared per call, capacity
+    /// retained, so the regular-prefetcher path never allocates).
+    access_scratch: Vec<Line>,
+    /// Replay block size; 1 selects the serial reference loop.
+    batch: usize,
 }
 
 impl Engine {
@@ -189,7 +201,22 @@ impl Engine {
             feedback_scratch: Vec::new(),
             samples_scratch: Vec::new(),
             prefetch_scratch: Vec::new(),
+            access_scratch: Vec::new(),
+            batch: DEFAULT_BATCH,
         })
+    }
+
+    /// Sets the replay block size (default [`DEFAULT_BATCH`]). A batch
+    /// of 1 selects the serial reference loop; any batch produces
+    /// byte-identical reports (pinned by the `batched_equivalence`
+    /// differential suite), so this knob trades nothing but speed.
+    ///
+    /// # Panics
+    /// Panics if `batch` is 0.
+    pub fn batch_size(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be at least 1");
+        self.batch = batch;
+        self
     }
 
     /// Sets the warmup fraction (default 0.2): statistics are reset after
@@ -238,7 +265,18 @@ impl Engine {
         self.run_impl(Some(cancel))
     }
 
-    fn run_impl(mut self, cancel: Option<&CancelToken>) -> Option<SimReport> {
+    fn run_impl(self, cancel: Option<&CancelToken>) -> Option<SimReport> {
+        if self.batch <= 1 {
+            self.run_serial(cancel)
+        } else {
+            self.run_batched(cancel)
+        }
+    }
+
+    /// The per-access reference loop. `batch_size(1)` selects it, which
+    /// is what makes the batched-vs-serial differential suite a real
+    /// comparison rather than the batched path against itself.
+    fn run_serial(mut self, cancel: Option<&CancelToken>) -> Option<SimReport> {
         let cores = self.plans.len();
         let warmup_at: Vec<usize> = self
             .plans
@@ -302,6 +340,152 @@ impl Engine {
         Some(self.report())
     }
 
+    /// Batched replay: pulls fixed-size blocks straight from the packed
+    /// SoA trace arrays and hoists every per-access branch of the serial
+    /// loop — cancel-epoch check, interleave scan, warmup / completion /
+    /// retire-bound bookkeeping — to per-block decisions.
+    ///
+    /// Byte-identity with [`Engine::run_serial`] rests on two
+    /// invariants (see DESIGN.md §11):
+    ///
+    /// * **Frozen interleave bounds.** Stepping core `c` mutates only
+    ///   `c`'s `pending_issue`, so the serial first-minimum scan keeps
+    ///   selecting `c` exactly while its next issue time stays strictly
+    ///   below every lower-index core's pending time and at-or-below
+    ///   every higher-index core's. Both bounds are constants for the
+    ///   duration of the block and are checked inline.
+    /// * **Boundary-aligned caps.** The block length is clamped so no
+    ///   bookkeeping boundary (trace wrap, warmup end, measured-pass
+    ///   completion, finished-core retire bound) falls strictly inside
+    ///   a block; every hoisted decision therefore fires at the same
+    ///   access index the serial loop would have fired it.
+    fn run_batched(mut self, cancel: Option<&CancelToken>) -> Option<SimReport> {
+        let cores = self.plans.len();
+        let batch = self.batch;
+        let warmup_at: Vec<usize> = self
+            .plans
+            .iter()
+            .map(|p| (p.trace.len() as f64 * self.warmup_frac) as usize)
+            .collect();
+        let mut warmed = vec![self.warmup_frac == 0.0; cores];
+        let mut warm_count = if self.warmup_frac == 0.0 { cores } else { 0 };
+        let mut done_count = 0usize;
+
+        for c in 0..cores {
+            self.prime(c);
+        }
+
+        let mut steps: u64 = 0;
+        // First cancel poll happens before any work, exactly like the
+        // serial loop's `steps.is_multiple_of(CANCEL_EPOCH)` at step 0;
+        // later polls land on the first block boundary at or after each
+        // epoch multiple, bounding the drift past an epoch by one block.
+        let mut next_cancel_check: u64 = 0;
+        while done_count < cores {
+            if steps >= next_cancel_check {
+                if let Some(token) = cancel {
+                    if token.is_cancelled() {
+                        return None;
+                    }
+                }
+                next_cancel_check = (steps / CANCEL_EPOCH + 1) * CANCEL_EPOCH;
+            }
+            // Serial-identical selection: earliest pending issue time,
+            // lowest core index winning ties.
+            let mut best: Option<(u64, usize)> = None;
+            for (c, s) in self.states.iter().enumerate() {
+                if let Some(t) = s.pending_issue {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, c));
+                    }
+                }
+            }
+            let Some((_, core)) = best else { break };
+            // Frozen interleave bounds for this block.
+            let mut lo = u64::MAX;
+            let mut hi = u64::MAX;
+            for (c, s) in self.states.iter().enumerate() {
+                if c == core {
+                    continue;
+                }
+                if let Some(t) = s.pending_issue {
+                    if c < core {
+                        lo = lo.min(t);
+                    } else {
+                        hi = hi.min(t);
+                    }
+                }
+            }
+            // Boundary-aligned block cap.
+            let trace_len = self.plans[core].trace.len();
+            let s = &self.states[core];
+            let pos = s.processed % trace_len;
+            let mut cap = batch.min(trace_len - pos);
+            if !warmed[core] {
+                cap = cap.min(warmup_at[core].saturating_sub(s.processed).max(1));
+            }
+            if warm_count == cores && s.snapshot.is_none() {
+                let target = s.measure_from_processed + trace_len;
+                cap = cap.min(target.saturating_sub(s.processed).max(1));
+            }
+            if s.snapshot.is_some() {
+                let bound = s.measure_from_processed + 4 * trace_len;
+                cap = cap.min(bound.saturating_sub(s.processed).max(1));
+            }
+            let trace = Arc::clone(&self.plans[core].trace);
+            let block = trace.block(pos, cap);
+            let mut issue = self.states[core].pending_issue.take().expect("primed");
+            let mut ran = 0usize;
+            loop {
+                let access = block.get(ran);
+                if ran + 1 < cap {
+                    // Overlap the next access's hierarchy-state misses
+                    // with this access's simulation (scx scan pattern).
+                    let tag = self.states[core].address_tag;
+                    let next = Line(Addr(block.addr(ran + 1)).line().0 | tag);
+                    self.hierarchy.prefetch_hint(core, next);
+                }
+                self.states[core].processed += 1;
+                self.step_with(core, &access, issue);
+                ran += 1;
+                if ran == cap {
+                    break;
+                }
+                // Inline prime: identical to `prime()` for a non-empty,
+                // non-wrapping block on an unfinished-or-capped core.
+                let t = self.states[core].timing.begin_access(&block.get(ran));
+                if t < lo && t <= hi {
+                    issue = t;
+                } else {
+                    // Another core now wins the scan; bank the issue
+                    // time (this is exactly what serial `prime` stores).
+                    self.states[core].pending_issue = Some(t);
+                    break;
+                }
+            }
+            steps += ran as u64;
+
+            // Post-block bookkeeping: the cap clamps guarantee these
+            // fire at the same access counts as the serial loop.
+            if !warmed[core] && self.states[core].processed >= warmup_at[core] {
+                warmed[core] = true;
+                warm_count += 1;
+                if warm_count == cores {
+                    self.reset_measurement();
+                }
+            }
+            if warm_count == cores && self.states[core].snapshot.is_none() {
+                let s = &self.states[core];
+                if s.processed >= s.measure_from_processed + trace_len {
+                    self.take_snapshot(core);
+                    done_count += 1;
+                }
+            }
+            self.prime(core);
+        }
+        Some(self.report())
+    }
+
     /// Computes the issue time of the core's next access.
     fn prime(&mut self, core: usize) {
         let s = &mut self.states[core];
@@ -325,13 +509,19 @@ impl Engine {
         s.pending_issue = Some(s.timing.begin_access(&access));
     }
 
-    /// Processes the core's pending access end-to-end.
+    /// Processes the core's pending access end-to-end (serial path).
     fn step(&mut self, core: usize) {
         let issue = self.states[core].pending_issue.take().expect("primed");
         let idx = self.states[core].processed % self.plans[core].trace.len();
         let access = self.plans[core].trace.get(idx);
         self.states[core].processed += 1;
+        self.step_with(core, &access, issue);
+    }
 
+    /// Simulates one access issued at `issue` — the shared body of the
+    /// serial and batched loops. The caller has already advanced
+    /// `processed` and consumed `pending_issue`.
+    fn step_with(&mut self, core: usize, access: &Access, issue: u64) {
         let tag = self.states[core].address_tag;
         let line = Line(access.addr.line().0 | tag);
         let is_write = access.kind == AccessKind::Store;
@@ -341,27 +531,36 @@ impl Engine {
             AccessKind::Load => outcome.complete,
             AccessKind::Store => issue, // stores retire via the store buffer
         };
-        self.states[core].timing.finish_access(&access, complete);
+        self.states[core].timing.finish_access(access, complete);
 
-        // L1 prefetcher trains on every L1 access.
+        // L1 prefetcher trains on every L1 access. The scratch buffer
+        // is swapped out for the call (it cannot be borrowed while
+        // `self.hierarchy` is mutated) and back afterwards; capacity is
+        // retained, so this path never allocates in steady state.
         if let Some(pf) = self.plans[core].l1_prefetcher.as_mut() {
-            let lines = pf.on_access(access.pc, line, outcome.l1_hit);
-            for l in lines.into_iter().take(MAX_PREFETCHES_PER_EVENT) {
-                if self.hierarchy.prefetch_into_l1(core, l, issue).is_some() {
+            let mut lines = std::mem::take(&mut self.access_scratch);
+            lines.clear();
+            pf.on_access(access.pc, line, outcome.l1_hit, &mut lines);
+            for &pl in lines.iter().take(MAX_PREFETCHES_PER_EVENT) {
+                if self.hierarchy.prefetch_into_l1(core, pl, issue).is_some() {
                     self.states[core].l1_prefetches += 1;
                 }
             }
+            self.access_scratch = lines;
         }
 
         // Regular L2 prefetcher trains on L2 queries (L1 misses).
         if outcome.l2_queried {
             if let Some(pf) = self.plans[core].l2_prefetcher.as_mut() {
-                let lines = pf.on_access(access.pc, line, outcome.l2_hit);
-                for l in lines.into_iter().take(MAX_PREFETCHES_PER_EVENT) {
-                    if self.hierarchy.prefetch_into_l2(core, l, issue).is_some() {
+                let mut lines = std::mem::take(&mut self.access_scratch);
+                lines.clear();
+                pf.on_access(access.pc, line, outcome.l2_hit, &mut lines);
+                for &pl in lines.iter().take(MAX_PREFETCHES_PER_EVENT) {
+                    if self.hierarchy.prefetch_into_l2(core, pl, issue).is_some() {
                         self.states[core].l2_prefetches += 1;
                     }
                 }
+                self.access_scratch = lines;
             }
         }
 

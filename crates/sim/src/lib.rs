@@ -40,6 +40,7 @@ pub mod core_model;
 pub mod dram;
 pub mod engine;
 pub mod hierarchy;
+mod hint;
 pub mod prefetch;
 pub mod shadow;
 pub mod stats;
@@ -50,7 +51,7 @@ pub use cancel::{CancelToken, CANCEL_EPOCH};
 pub use config::{
     validate_warmup_fraction, CacheParams, ConfigError, CoreParams, DramParams, SystemConfig,
 };
-pub use engine::{CorePlan, Engine};
+pub use engine::{CorePlan, Engine, DEFAULT_BATCH};
 pub use hierarchy::{Hierarchy, PrefetchOrigin};
 pub use prefetch::{
     AccessPrefetcher, IdealTemporal, L2EventKind, MetaCtx, PartitionSpec, TemporalEvent,

@@ -26,9 +26,14 @@ use tptrace::record::{Line, Pc};
 pub trait AccessPrefetcher: Send {
     /// Human-readable name.
     fn name(&self) -> &'static str;
-    /// Observes a demand access; returns lines to prefetch into the
-    /// attached level.
-    fn on_access(&mut self, pc: Pc, line: Line, hit: bool) -> Vec<Line>;
+    /// Observes a demand access and appends lines to prefetch into the
+    /// attached level to `out`.
+    ///
+    /// `out` arrives empty — the engine clears and reuses one scratch
+    /// buffer across every call (the same protocol as
+    /// [`TemporalPrefetcher::on_event`]), so implementations must not
+    /// allocate a fresh Vec per access on the hot path.
+    fn on_access(&mut self, pc: Pc, line: Line, hit: bool, out: &mut Vec<Line>);
 }
 
 /// Why the temporal prefetcher is being invoked.

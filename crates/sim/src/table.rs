@@ -97,6 +97,14 @@ impl<V: Copy> LineMap<V> {
         self.find(line.0).map(|i| self.slots[i].expect("found").1)
     }
 
+    /// Software-prefetches `line`'s home bucket (advisory; reads and
+    /// writes nothing). Batched replay hints the next access's
+    /// in-flight-tracking bucket while the current access simulates.
+    #[inline]
+    pub fn prefetch_hint(&self, line: Line) {
+        crate::hint::prefetch_read(&self.slots[self.home(line.0)]);
+    }
+
     /// True when `line` has an entry.
     #[inline]
     pub fn contains(&self, line: Line) -> bool {

@@ -38,5 +38,5 @@ pub mod workloads;
 pub use mix::{Mix, MixGenerator};
 pub use pool::{PoolKey, PoolStats, TracePool};
 pub use record::{Access, AccessKind, Addr, Dep, Pc, LINE_SIZE};
-pub use trace::{Trace, TraceBuilder, TraceStats};
+pub use trace::{BlockView, Trace, TraceBuilder, TraceStats};
 pub use workloads::{Scale, Suite, Workload, WorkloadId};

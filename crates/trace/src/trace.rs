@@ -204,6 +204,32 @@ impl Trace {
         self.stats.unique_lines
     }
 
+    /// A zero-copy window of `len` accesses starting at `start`,
+    /// borrowing the packed arrays directly.
+    ///
+    /// This is the batched-replay entry point: the engine pulls
+    /// fixed-size blocks and walks them with [`BlockView::get`] (three
+    /// dense loads, no bounds re-derivation per access) while using
+    /// [`BlockView::addr`] to software-prefetch the *next* access's
+    /// hierarchy state. Blocks never wrap: callers clamp `len` to
+    /// `trace.len() - start` and take a fresh block after the wrap.
+    ///
+    /// # Panics
+    /// Panics if `start + len > self.len()`.
+    #[inline]
+    pub fn block(&self, start: usize, len: usize) -> BlockView<'_> {
+        let end = start
+            .checked_add(len)
+            .expect("block range overflows usize");
+        assert!(end <= self.len(), "block [{start}, {end}) out of bounds");
+        BlockView {
+            pc_table: &self.pc_table,
+            pc_ix: &self.pc_ix[start..end],
+            addrs: &self.addrs[start..end],
+            meta: &self.meta[start..end],
+        }
+    }
+
     /// Heap bytes resident for this trace's packed arrays and name —
     /// the quantity the trace pool's byte accounting and eviction
     /// policy operate on.
@@ -214,6 +240,57 @@ impl Trace {
             + self.pc_ix.capacity() * std::mem::size_of::<u32>()
             + self.addrs.capacity() * std::mem::size_of::<u64>()
             + self.meta.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// A borrowed block of consecutive accesses in a [`Trace`]'s packed
+/// struct-of-arrays layout (see [`Trace::block`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockView<'a> {
+    pc_table: &'a [u64],
+    pc_ix: &'a [u32],
+    addrs: &'a [u64],
+    meta: &'a [u32],
+}
+
+impl BlockView<'_> {
+    /// Number of accesses in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pc_ix.len()
+    }
+
+    /// Whether the block holds no accesses.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pc_ix.is_empty()
+    }
+
+    /// Reconstitutes the `i`-th access of the block.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Access {
+        let (kind, dep, gap) = unpack_meta(self.meta[i]);
+        Access {
+            pc: Pc(self.pc_table[self.pc_ix[i] as usize]),
+            addr: Addr(self.addrs[i]),
+            kind,
+            dep,
+            gap,
+        }
+    }
+
+    /// Raw byte address of the `i`-th access — one load, no meta
+    /// unpacking. Used for lookahead (prefetching the *next* access's
+    /// cache state while the current one simulates).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        self.addrs[i]
     }
 }
 
@@ -485,6 +562,39 @@ mod tests {
             t.resident_bytes(),
             aos_bytes
         );
+    }
+
+    #[test]
+    fn block_view_agrees_with_get_everywhere() {
+        let mut b = TraceBuilder::new("blk", Suite::Gap);
+        for i in 0..300u64 {
+            match i % 3 {
+                0 => b.load(i % 7, i * 64),
+                1 => b.dep_load(i % 7, i * 64 + 8),
+                _ => b.store(i % 7, i * 64 + 16),
+            };
+        }
+        let t = b.finish();
+        // Every (start, len) shape the engine can produce, including
+        // empty blocks and full-trace blocks.
+        for &(start, len) in &[(0usize, 300usize), (0, 1), (299, 1), (150, 0), (37, 256), (44, 7)] {
+            let blk = t.block(start, len);
+            assert_eq!(blk.len(), len);
+            assert_eq!(blk.is_empty(), len == 0);
+            for i in 0..len {
+                assert_eq!(blk.get(i), t.get(start + i), "block({start},{len})[{i}]");
+                assert_eq!(blk.addr(i), t.get(start + i).addr.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn block_view_rejects_out_of_range() {
+        let mut b = TraceBuilder::new("blk", Suite::Gap);
+        b.load(1, 64);
+        let t = b.finish();
+        let _ = t.block(1, 1);
     }
 
     #[test]

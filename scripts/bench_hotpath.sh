@@ -11,10 +11,59 @@
 # idle machine, and prefer the default 4 s budget or longer — short
 # budgets are noisy.
 #
+# Two gates run on every invocation:
+#   * the hard allocation gate inside micro_bench itself (exit 1 if the
+#     demand path allocates at all);
+#   * a throughput floor checked here against the emitted JSON, set
+#     generously (~30%) above the measured numbers so host noise never
+#     trips it but a real hot-path regression does.
+#
 # Usage: ./scripts/bench_hotpath.sh [budget-ms]   (from the repo root)
+#        ./scripts/bench_hotpath.sh --smoke       (quick gate run; does
+#                                                  not touch the
+#                                                  committed JSON)
 set -e
 cd "$(dirname "$0")/.."
-BUDGET_MS="${1:-4000}"
+
+# ns/access ceilings per phase. Reference points on the measurement
+# host: the current tree measures ~708 / ~586 at a 4 s budget, the
+# pre-batching tree measured 733 / 608, and the pre-rewrite tree
+# 983 / 857 — so these floors catch any slide back toward the old
+# allocating path while absorbing the +-8% noise of a busy host.
+MAX_NS_POINTER_CHASE=920
+MAX_NS_STORE_HEAVY=780
+
+if [ "$1" = "--smoke" ]; then
+  BUDGET_MS=900
+  OUT="${TMPDIR:-/tmp}/BENCH_hotpath.smoke.$$.json"
+else
+  BUDGET_MS="${1:-4000}"
+  OUT=BENCH_hotpath.json
+fi
+
 cargo build --release -p tpbench
-./target/release/micro_bench --json --budget-ms="$BUDGET_MS" > BENCH_hotpath.json
-cat BENCH_hotpath.json
+./target/release/micro_bench --json --budget-ms="$BUDGET_MS" > "$OUT"
+cat "$OUT"
+
+python3 - "$OUT" "$MAX_NS_POINTER_CHASE" "$MAX_NS_STORE_HEAVY" <<'EOF'
+import json
+import sys
+
+data = json.load(open(sys.argv[1]))
+floors = {"pointer_chase": float(sys.argv[2]), "store_heavy": float(sys.argv[3])}
+failed = False
+for p in data["phases"]:
+    limit = floors.get(p["name"])
+    if limit is not None and p["ns_per_access"] >= limit:
+        print(
+            "THROUGHPUT GATE FAILED: %s %.2f ns/access >= ceiling %.2f"
+            % (p["name"], p["ns_per_access"], limit),
+            file=sys.stderr,
+        )
+        failed = True
+sys.exit(1 if failed else 0)
+EOF
+
+if [ "$1" = "--smoke" ]; then
+  rm -f "$OUT"
+fi

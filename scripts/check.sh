@@ -22,6 +22,9 @@ echo "== hot-path equivalence suite (debug: audit + overflow checks on) =="
 cargo test -q --test hot_path_equivalence
 cargo test -q --test golden_snapshot
 
+echo "== batched replay differential suite (serial == batched) =="
+cargo test -q --test batched_equivalence
+
 echo "== trace pool suite (single-flight, eviction, 1-generation sweep) =="
 cargo test -q --test trace_pool
 cargo test -q -p tptrace pool
@@ -31,6 +34,11 @@ echo "== trace pool bench gate (4-experiment sweep = 1 generation) =="
 # committed full-run BENCH_tracepool.json (regenerate that with
 # ./scripts/bench_tracepool.sh).
 ./target/release/bench_tracepool --smoke >/dev/null
+
+echo "== hot-path bench gate (smoke: alloc gate + throughput floor) =="
+# Short-budget run against a temp file; the committed BENCH_hotpath.json
+# is regenerated only by ./scripts/bench_hotpath.sh without --smoke.
+./scripts/bench_hotpath.sh --smoke >/dev/null
 
 echo "== audited quick sweep (release, test scale) =="
 cargo run --release -q -p tpbench --bin fig09_single_core -- \

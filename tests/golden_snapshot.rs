@@ -152,6 +152,17 @@ const GOLDEN_STORE_HEAVY: &str = include_str!("golden/store_heavy.txt");
 /// private-copy-per-core numbers byte for byte.
 const GOLDEN_SHARED_WORKLOAD: &str = include_str!("golden/multicore_shared.txt");
 
+/// Full counter state of a 2-core mix pairing a store-heavy synthetic
+/// trace with the irregular spec06.mcf registry workload, with the
+/// *entire* prefetcher stack attached per core: L1 IP-stride (exercises
+/// the L1 prefetch feedback path), L2 IPCP, and Streamline with its LLC
+/// metadata partition. Pinned immediately **before** the batched-replay
+/// engine refactor: every hoisted branch (warmup boundary, interleave
+/// selection, feedback drains, accuracy epochs) feeds at least one
+/// counter in this dump, so any batching bug that perturbs per-access
+/// ordering moves at least one line here.
+const GOLDEN_MIXED_STORE_FEEDBACK: &str = include_str!("golden/mixed_store_feedback.txt");
+
 fn multicore_report() -> SimReport {
     let exp = Experiment::new(Scale::Test)
         .l1(L1Kind::Stride)
@@ -195,6 +206,35 @@ fn store_heavy_report() -> SimReport {
         .run()
 }
 
+fn mixed_store_feedback_report() -> SimReport {
+    use streamline_repro::tpprefetch::{IpStride, Ipcp};
+    // Core 0: stores sweeping 2x the LLC with a strided load stream
+    // (the stride prefetcher issues, so prefetch-feedback events flow)
+    // plus a recurring pointer-chase loop that trains Streamline.
+    let mut b = TraceBuilder::new("synthetic.store-feedback-golden", Suite::Spec06);
+    for i in 0..48_000u64 {
+        b.store(0x500_100, 0x20_0000 + i * streamline_repro::tpsim::LINE_SIZE);
+        if i % 2 == 0 {
+            b.load(0x500_108, 0x80_0000 + (i / 2) * streamline_repro::tpsim::LINE_SIZE);
+        }
+        if i % 4 == 0 {
+            // 64-line temporal loop: revisited every 256 accesses.
+            b.load(0x500_110, 0xC0_0000 + (i / 4 % 64) * 7 * streamline_repro::tpsim::LINE_SIZE);
+        }
+    }
+    let stack = |trace: std::sync::Arc<Trace>| {
+        CorePlan::bare(trace)
+            .with_l1(Box::new(IpStride::default()))
+            .with_l2(Box::new(Ipcp::default()))
+            .with_temporal(Box::new(Streamline::new()))
+    };
+    let mcf = workloads::by_name("spec06.mcf")
+        .expect("registry workload")
+        .generate_shared(Scale::Test);
+    let plans = vec![stack(std::sync::Arc::new(b.finish())), stack(mcf)];
+    Engine::new(SystemConfig::with_cores(2), plans).run()
+}
+
 /// Compares `got` against the pinned dump in `tests/golden/<file>`, or
 /// regenerates the pin when `TPSIM_REGEN_GOLDEN=1` (for intentional,
 /// explained behaviour changes only — see the module docs).
@@ -225,6 +265,15 @@ fn shared_workload_mix_full_counters_match_golden_snapshot() {
         &full_dump(&shared_workload_report()),
         GOLDEN_SHARED_WORKLOAD,
         "multicore_shared.txt",
+    );
+}
+
+#[test]
+fn mixed_store_feedback_full_counters_match_golden_snapshot() {
+    assert_or_regen(
+        &full_dump(&mixed_store_feedback_report()),
+        GOLDEN_MIXED_STORE_FEEDBACK,
+        "mixed_store_feedback.txt",
     );
 }
 

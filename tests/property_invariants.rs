@@ -60,12 +60,12 @@ fn alignment_preserves_new_correlations() {
         let pos = g.usize_in(0..4);
         let old = StreamEntry::new(
             Line(100),
-            old_targets.iter().map(|&t| Line(100 + t)).collect(),
+            old_targets.iter().map(|&t| Line(100 + t)).collect::<Vec<_>>(),
         );
         let addrs: Vec<Line> = old.addresses().collect();
         let new = StreamEntry::new(
             addrs[pos],
-            new_targets.iter().map(|&t| Line(200 + t)).collect(),
+            new_targets.iter().map(|&t| Line(200 + t)).collect::<Vec<_>>(),
         );
         if let Some(a) = align(&old, &new, 4) {
             let mut chain: Vec<Line> = a.aligned.addresses().collect();
