@@ -4,16 +4,20 @@
 //! tpclient ADDR ping
 //! tpclient ADDR stats
 //! tpclient ADDR submit '{"workload":"gap.bfs","scale":"test"}' [--no-wait]
+//! tpclient ADDR pipeline JSON [JSON...]
 //! tpclient ADDR poll TICKET
 //! tpclient ADDR shutdown
-//! tpclient ADDR bench [JSON]
+//! tpclient ADDR bench [JSON] [--clients=N] [--pipeline=M]
 //! ```
 //!
 //! `ADDR` is `host:port` or `unix:PATH`. Every command prints the
-//! server's JSON response on stdout; `bench` instead measures cold vs
-//! cache-hit service latency for one request (default: a test-scale
-//! Streamline run) and prints a small JSON summary for
-//! `scripts/bench_serve.sh`.
+//! server's JSON response on stdout; `pipeline` writes all its SUBMITs
+//! before reading anything back and prints one response line per
+//! payload (in request order). `bench` measures cold vs cache-hit
+//! service latency for one request (default: a test-scale Streamline
+//! run), then drives a concurrent phase — `N` client threads, each on
+//! its own connection, each pipelining `M` identical submits — and
+//! prints a `schema:2` JSON summary for `scripts/bench_serve.sh`.
 
 use std::time::Instant;
 use tpharness::wire::{parse, Value};
@@ -21,7 +25,8 @@ use tpserve::Client;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpclient ADDR ping|stats|shutdown|poll TICKET|submit JSON [--no-wait]|bench [JSON]"
+        "usage: tpclient ADDR ping|stats|shutdown|poll TICKET|submit JSON [--no-wait]\n\
+         \x20      |pipeline JSON [JSON...]|bench [JSON] [--clients=N] [--pipeline=M]"
     );
     std::process::exit(2);
 }
@@ -37,7 +42,81 @@ const BENCH_DEFAULT: &str =
 /// Cache-hit repetitions for the requests/sec figure.
 const HIT_REPS: u32 = 200;
 
-fn bench(client: &mut Client, payload: &Value) {
+/// Concurrent-phase defaults (override with `--clients=` / `--pipeline=`).
+const DEFAULT_CLIENTS: u32 = 8;
+const DEFAULT_PIPELINE: u32 = 8;
+
+/// Exact nearest-rank percentile over a sorted sample.
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * p / 100) as usize]
+}
+
+/// `clients` threads, each on its own connection, each pipelining
+/// `pipeline` identical submits. Per-response latency is measured from
+/// that connection's batch start (so it includes queueing behind the
+/// earlier responses on the same pipe — the figure a pipelining client
+/// actually experiences).
+fn concurrent_phase(addr: &str, payload: &Value, clients: u32, pipeline: u32) -> Value {
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let addr = addr.to_string();
+        let payload = payload.clone();
+        handles.push(std::thread::spawn(move || -> std::io::Result<Vec<u64>> {
+            let mut c = Client::connect(&addr)?;
+            let batch: Vec<Value> = (0..pipeline).map(|_| payload.clone()).collect();
+            let start = Instant::now();
+            c.submit_batch(&batch)?;
+            let mut lat = Vec::with_capacity(batch.len());
+            for _ in &batch {
+                let mut resp = c.read_response()?;
+                // The phase runs against a warm cache, but tolerate a
+                // queued response by waiting it out.
+                if resp.get("status").and_then(Value::as_str) == Some("queued") {
+                    let ticket = resp
+                        .get("ticket")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| std::io::Error::other("queued without ticket"))?;
+                    resp = c.wait(ticket)?;
+                }
+                if resp.get("status").and_then(Value::as_str) != Some("done") {
+                    return Err(std::io::Error::other(format!(
+                        "concurrent submit did not complete: {}",
+                        resp.encode()
+                    )));
+                }
+                lat.push(start.elapsed().as_micros() as u64);
+            }
+            Ok(lat)
+        }));
+    }
+    let mut lat: Vec<u64> = Vec::with_capacity((clients * pipeline) as usize);
+    for h in handles {
+        match h.join() {
+            Ok(Ok(mut l)) => lat.append(&mut l),
+            Ok(Err(e)) => fail(&format!("concurrent client failed: {e}")),
+            Err(_) => fail("concurrent client panicked"),
+        }
+    }
+    let total_us = (t0.elapsed().as_micros() as u64).max(1);
+    lat.sort_unstable();
+    let requests = lat.len() as u64;
+    let rps = requests as f64 * 1_000_000.0 / total_us as f64;
+    Value::Obj(vec![
+        ("clients".into(), Value::u64(u64::from(clients))),
+        ("pipeline".into(), Value::u64(u64::from(pipeline))),
+        ("requests".into(), Value::u64(requests)),
+        ("total_us".into(), Value::u64(total_us)),
+        ("rps".into(), Value::f64((rps * 10.0).round() / 10.0)),
+        ("p50_us".into(), Value::u64(percentile(&lat, 50))),
+        ("p99_us".into(), Value::u64(percentile(&lat, 99))),
+    ])
+}
+
+fn bench(addr: &str, client: &mut Client, payload: &Value, clients: u32, pipeline: u32) {
     // Cold: first submission simulates (unless the server already has
     // this exact request cached — bench assumes a fresh server).
     let t0 = Instant::now();
@@ -65,7 +144,11 @@ fn bench(client: &mut Client, payload: &Value) {
     let hit_rps = 1_000_000.0 / hit_us as f64;
     let speedup = cold_us as f64 / hit_us as f64;
 
+    // Concurrent phase: many pipelining clients against the warm cache.
+    let concurrent = concurrent_phase(addr, payload, clients, pipeline);
+
     let out = Value::Obj(vec![
+        ("schema".into(), Value::u64(2)),
         ("request".into(), payload.clone()),
         ("cold_us".into(), Value::u64(cold_us)),
         ("cold_was_cached".into(), Value::Bool(cold_was_cached)),
@@ -76,6 +159,7 @@ fn bench(client: &mut Client, payload: &Value) {
             "cold_over_hit".into(),
             Value::f64((speedup * 10.0).round() / 10.0),
         ),
+        ("concurrent".into(), concurrent),
     ]);
     println!("{}", out.encode());
 }
@@ -113,11 +197,39 @@ fn main() {
             };
             print(resp.unwrap_or_else(|e| fail(&e.to_string())));
         }
+        "pipeline" => {
+            if args.len() < 3 {
+                usage();
+            }
+            let payloads: Vec<Value> = args[2..]
+                .iter()
+                .map(|j| parse(j).unwrap_or_else(|e| fail(&format!("bad request payload: {e}"))))
+                .collect();
+            let resps = client
+                .pipeline(&payloads)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+            for r in resps {
+                print(r);
+            }
+        }
         "bench" => {
-            let json = args.get(2).map(String::as_str).unwrap_or(BENCH_DEFAULT);
-            let payload =
-                parse(json).unwrap_or_else(|e| fail(&format!("bad bench payload: {e}")));
-            bench(&mut client, &payload);
+            let mut clients = DEFAULT_CLIENTS;
+            let mut pipeline = DEFAULT_PIPELINE;
+            let mut json: Option<&str> = None;
+            for a in &args[2..] {
+                if let Some(v) = a.strip_prefix("--clients=") {
+                    clients = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| usage());
+                } else if let Some(v) = a.strip_prefix("--pipeline=") {
+                    pipeline = v.parse().ok().filter(|&n| n >= 1).unwrap_or_else(|| usage());
+                } else if json.is_none() && !a.starts_with("--") {
+                    json = Some(a);
+                } else {
+                    usage();
+                }
+            }
+            let payload = parse(json.unwrap_or(BENCH_DEFAULT))
+                .unwrap_or_else(|e| fail(&format!("bad bench payload: {e}")));
+            bench(addr, &mut client, &payload, clients, pipeline);
         }
         _ => usage(),
     }

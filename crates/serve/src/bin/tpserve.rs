@@ -1,7 +1,8 @@
 //! The simulation server daemon.
 //!
 //! ```text
-//! tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N] [--audit]
+//! tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N]
+//!         [--audit] [--store=DIR] [--store-cap-mb=N]
 //! ```
 //!
 //! Prints `tpserve: listening on ADDR` once ready (scripts parse this
@@ -9,6 +10,12 @@
 //! SIGTERM/SIGINT trigger the same graceful drain as a protocol
 //! `SHUTDOWN`: stop accepting, shed new submissions, finish in-flight
 //! and queued work, then exit.
+//!
+//! `--store=DIR` enables the persistent result store: served reports
+//! are written to `DIR` (content-addressed by the canonical request)
+//! and a restarted server on the same directory answers previously
+//! served requests without simulating. `--store-cap-mb` bounds the
+//! directory; least-recently-used entries are reclaimed past the cap.
 
 use std::io::Write;
 use std::sync::atomic::AtomicBool;
@@ -44,7 +51,8 @@ mod sig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N] [--audit]"
+        "usage: tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N] \
+         [--audit] [--store=DIR] [--store-cap-mb=N]"
     );
     std::process::exit(2);
 }
@@ -67,6 +75,16 @@ fn main() {
                 .ok()
                 .filter(|&n| n >= 1)
                 .unwrap_or_else(|| usage());
+        } else if let Some(v) = arg.strip_prefix("--store=") {
+            cfg.store_dir = Some(std::path::PathBuf::from(v));
+        } else if let Some(v) = arg.strip_prefix("--store-cap-mb=") {
+            cfg.store_cap_bytes = v
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| usage())
+                * 1024
+                * 1024;
         } else if arg == "--audit" {
             cfg.audit = true;
         } else if arg.starts_with("--jobs=") {

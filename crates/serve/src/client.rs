@@ -94,6 +94,57 @@ impl Client {
         self.request(&format!("SUBMIT {}", payload.encode()))
     }
 
+    /// Writes one `SUBMIT` line per payload as a single batch without
+    /// reading anything back — the write half of pipelining. Pair with
+    /// one [`Client::read_response`] per payload; the server returns
+    /// responses in request order.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn submit_batch(&mut self, payloads: &[Value]) -> io::Result<()> {
+        let mut batch = String::new();
+        for p in payloads {
+            batch.push_str("SUBMIT ");
+            batch.push_str(&p.encode());
+            batch.push('\n');
+        }
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response frame — the read half of pipelining.
+    ///
+    /// # Errors
+    /// I/O errors, unexpected EOF, or an unparseable response.
+    pub fn read_response(&mut self) -> io::Result<Value> {
+        match read_frame(&mut self.reader, &mut self.scratch)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-pipeline",
+            )),
+            Some(resp) => {
+                wire::parse(&resp).map_err(|e| data_err(format!("bad response: {e}: {resp:.120}")))
+            }
+        }
+    }
+
+    /// Pipelined `SUBMIT`: writes every request line before reading
+    /// any response, then collects the responses (which the server
+    /// returns in request order). This is the high-throughput path for
+    /// many small requests — one flush, one round-trip's worth of
+    /// latency for the whole batch.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn pipeline(&mut self, payloads: &[Value]) -> io::Result<Vec<Value>> {
+        self.submit_batch(payloads)?;
+        let mut out = Vec::with_capacity(payloads.len());
+        for _ in payloads {
+            out.push(self.read_response()?);
+        }
+        Ok(out)
+    }
+
     /// `POLL` one ticket.
     ///
     /// # Errors

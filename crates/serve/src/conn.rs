@@ -1,11 +1,17 @@
-//! A tiny stream abstraction so the server, client, and tests share one
-//! code path over TCP and Unix-domain sockets.
+//! A tiny stream abstraction (TCP or Unix-domain) shared by server,
+//! client, and tests — plus the per-connection state machine the
+//! event-driven server runs: nonblocking read/write buffers and a
+//! newline-delimited line splitter with the protocol's byte cap
+//! enforced while buffering.
 
+use crate::protocol::MAX_LINE_BYTES;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+#[cfg(unix)]
 use std::os::unix::net::UnixStream;
-use std::time::Duration;
+use std::time::Instant;
 
 /// A connected byte stream (TCP or Unix-domain).
 pub(crate) enum Conn {
@@ -43,11 +49,20 @@ impl Conn {
         })
     }
 
-    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
         match self {
-            Conn::Tcp(s) => s.set_read_timeout(dur),
+            Conn::Tcp(s) => s.set_nonblocking(nb),
             #[cfg(unix)]
-            Conn::Unix(s) => s.set_read_timeout(dur),
+            Conn::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    /// Raw fd for readiness polling.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Tcp(s) => s.as_raw_fd(),
+            Conn::Unix(s) => s.as_raw_fd(),
         }
     }
 }
@@ -77,5 +92,267 @@ impl Write for Conn {
             #[cfg(unix)]
             Conn::Unix(s) => s.flush(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event-loop connection state
+// ---------------------------------------------------------------------
+
+/// What a nonblocking read pass observed.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum FillOutcome {
+    /// At least one byte arrived (more may still be buffered).
+    Progress,
+    /// Nothing readable right now (`WouldBlock`).
+    Idle,
+    /// The peer closed its write side; buffered bytes remain valid.
+    Eof,
+}
+
+/// Why a buffered line could not be produced.
+#[derive(Debug)]
+pub(crate) enum LineError {
+    /// More than [`MAX_LINE_BYTES`] without a newline — framing is
+    /// unrecoverable on this connection.
+    Oversized,
+    /// The line was not UTF-8.
+    NotUtf8,
+}
+
+impl LineError {
+    pub(crate) fn message(&self) -> String {
+        match self {
+            LineError::Oversized => format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            LineError::NotUtf8 => "frame is not UTF-8".to_string(),
+        }
+    }
+}
+
+/// One event-loop connection: the stream plus its unparsed input,
+/// unsent output, and activity clock. All I/O is nonblocking; the
+/// event loop drives [`ConnState::fill`] on read-readiness,
+/// [`ConnState::next_line`] until the buffer is dry, and
+/// [`ConnState::flush`] on write-readiness.
+pub(crate) struct ConnState {
+    conn: Conn,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Already-written prefix of `wbuf` (compacted opportunistically).
+    wpos: usize,
+    /// Peer closed its write side; serve what is buffered, then close.
+    pub(crate) eof: bool,
+    pub(crate) last_activity: Instant,
+}
+
+impl ConnState {
+    pub(crate) fn new(conn: Conn) -> io::Result<ConnState> {
+        conn.set_nonblocking(true)?;
+        Ok(ConnState {
+            conn,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            eof: false,
+            last_activity: Instant::now(),
+        })
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        self.conn.raw_fd()
+    }
+
+    /// Reads until `WouldBlock`/EOF, appending to the input buffer.
+    ///
+    /// # Errors
+    /// Hard I/O errors (connection reset, ...); the caller drops the
+    /// connection.
+    pub(crate) fn fill(&mut self) -> io::Result<FillOutcome> {
+        let mut tmp = [0u8; 16 * 1024];
+        let mut any = false;
+        loop {
+            match self.conn.read(&mut tmp) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(FillOutcome::Eof);
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&tmp[..n]);
+                    self.last_activity = Instant::now();
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return Ok(if any {
+                        FillOutcome::Progress
+                    } else {
+                        FillOutcome::Idle
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Pops the next complete line (CR stripped) from the input
+    /// buffer, or `Ok(None)` if no full line is buffered yet.
+    ///
+    /// # Errors
+    /// [`LineError`] for an oversized or non-UTF-8 line; framing on
+    /// this connection is unrecoverable afterwards.
+    pub(crate) fn next_line(&mut self) -> Result<Option<String>, LineError> {
+        match self.rbuf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if i > MAX_LINE_BYTES {
+                    return Err(LineError::Oversized);
+                }
+                let mut line: Vec<u8> = self.rbuf.drain(..=i).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(s) => Ok(Some(s)),
+                    Err(_) => Err(LineError::NotUtf8),
+                }
+            }
+            None if self.rbuf.len() > MAX_LINE_BYTES => Err(LineError::Oversized),
+            None => Ok(None),
+        }
+    }
+
+    /// Drains a final unterminated line after EOF (parity with the
+    /// framed reader: EOF after a partial line delivers that partial
+    /// as a frame). `None` when nothing is buffered.
+    pub(crate) fn take_partial(&mut self) -> Option<Result<String, LineError>> {
+        if self.rbuf.is_empty() {
+            return None;
+        }
+        if self.rbuf.len() > MAX_LINE_BYTES {
+            self.rbuf.clear();
+            return Some(Err(LineError::Oversized));
+        }
+        let line = std::mem::take(&mut self.rbuf);
+        Some(String::from_utf8(line).map_err(|_| LineError::NotUtf8))
+    }
+
+    /// Queues response bytes (the caller includes the trailing
+    /// newline) and opportunistically pushes them to the socket.
+    pub(crate) fn queue(&mut self, bytes: &[u8]) {
+        self.wbuf.extend_from_slice(bytes);
+    }
+
+    /// Bytes queued but not yet written.
+    pub(crate) fn pending_out(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Writes queued output until done or `WouldBlock`.
+    ///
+    /// # Errors
+    /// Hard I/O errors; the caller drops the connection.
+    pub(crate) fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.conn.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "connection wrote zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        } else if self.wpos > 64 * 1024 {
+            self.wbuf.drain(..self.wpos);
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A loopback pair for exercising the state machine.
+    fn pair() -> (ConnState, TcpStream) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (ConnState::new(Conn::Tcp(server)).unwrap(), client)
+    }
+
+    fn fill_until_progress(cs: &mut ConnState) {
+        for _ in 0..200 {
+            match cs.fill().unwrap() {
+                FillOutcome::Idle => std::thread::sleep(std::time::Duration::from_millis(1)),
+                _ => return,
+            }
+        }
+        panic!("no bytes arrived");
+    }
+
+    #[test]
+    fn pipelined_lines_split_in_order_with_crlf_tolerance() {
+        let (mut cs, mut client) = pair();
+        client.write_all(b"PING\r\nSTATS\nPOLL 7\npartial").unwrap();
+        fill_until_progress(&mut cs);
+        assert_eq!(cs.next_line().unwrap().as_deref(), Some("PING"));
+        assert_eq!(cs.next_line().unwrap().as_deref(), Some("STATS"));
+        assert_eq!(cs.next_line().unwrap().as_deref(), Some("POLL 7"));
+        assert_eq!(cs.next_line().unwrap(), None, "partial line stays buffered");
+        client.write_all(b" done\n").unwrap();
+        fill_until_progress(&mut cs);
+        assert_eq!(cs.next_line().unwrap().as_deref(), Some("partial done"));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_while_buffering() {
+        let (mut cs, mut client) = pair();
+        let big = vec![b'x'; MAX_LINE_BYTES + 2];
+        client.write_all(&big).unwrap();
+        // No newline yet: the cap trips on buffered length alone.
+        for _ in 0..10_000 {
+            if cs.fill().unwrap() == FillOutcome::Idle {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            if cs.rbuf.len() > MAX_LINE_BYTES {
+                break;
+            }
+        }
+        assert!(matches!(cs.next_line(), Err(LineError::Oversized)));
+    }
+
+    #[test]
+    fn eof_after_fill_is_reported_once_buffer_drains() {
+        let (mut cs, mut client) = pair();
+        client.write_all(b"LAST\n").unwrap();
+        drop(client);
+        // Drain everything the peer sent, then observe EOF.
+        let mut saw_eof = false;
+        for _ in 0..200 {
+            match cs.fill().unwrap() {
+                FillOutcome::Eof => {
+                    saw_eof = true;
+                    break;
+                }
+                _ => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        assert!(saw_eof);
+        assert_eq!(cs.next_line().unwrap().as_deref(), Some("LAST"));
+        assert!(cs.eof);
     }
 }

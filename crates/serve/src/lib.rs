@@ -10,13 +10,22 @@
 //! * **Protocol**: newline-delimited, length-checked JSON-ish lines
 //!   over a Unix-domain or TCP socket ([`protocol`]); verbs are
 //!   `SUBMIT`, `POLL`, `STATS`, `PING`, `SHUTDOWN`.
+//! * **Event-driven I/O**: one nonblocking, poll-based loop serves
+//!   every connection ([`server`]); clients may **pipeline** requests
+//!   (write many before reading any response) and responses come back
+//!   in request order. Slow readers get per-connection backpressure,
+//!   not unbounded buffering.
 //! * **Execution**: a worker pool layered on the deterministic
 //!   [`SweepRunner`](tpharness::sweep::SweepRunner), so a served report
 //!   is **byte-identical** to the same experiment run directly through
 //!   the CLI (the integration tests compare canonical encodings).
 //! * **Caching**: responses are content-addressed by the canonical
 //!   request string; a repeat request returns synchronously without
-//!   touching the queue or the simulator.
+//!   touching the queue or the simulator. With a store directory
+//!   configured ([`store`]), results also persist on disk — a
+//!   **restarted** server answers previously served requests without
+//!   simulating, and a cold miss costs one in-memory admission-index
+//!   probe, not a disk I/O.
 //! * **Backpressure**: a bounded queue with explicit load shedding —
 //!   a full queue rejects with a structured `queue-full` reason instead
 //!   of buffering unboundedly or blocking the socket.
@@ -57,8 +66,10 @@ pub mod client;
 pub mod hist;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use client::Client;
 pub use hist::LogHistogram;
 pub use protocol::{Request, MAX_LINE_BYTES};
 pub use server::{Controller, Server, ServerConfig, DEFAULT_QUEUE_CAPACITY};
+pub use store::{ResultStore, StoreStats, DEFAULT_STORE_CAP_BYTES};

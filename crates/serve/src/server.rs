@@ -1,43 +1,72 @@
-//! The service itself: bounded queue, worker pool, response cache,
-//! deadlines, live stats, and graceful drain.
+//! The service itself: bounded queue, worker pool, two-level result
+//! cache (memory + on-disk store), deadlines, live stats, and graceful
+//! drain — all fronted by a single-threaded, nonblocking event loop.
 //!
 //! ## Architecture
 //!
 //! One [`Server`] owns a listening socket and an [`Arc<Service>`]. The
-//! accept loop hands each connection to a handler thread that speaks
-//! the line protocol; handlers only touch the shared [`Service`], which
-//! serializes all state behind three locks:
+//! run loop is **event-driven**: every socket (listener included) is
+//! nonblocking, readiness comes from raw-fd polling (`poll(2)` on
+//! Unix; a short-tick fallback elsewhere), and each connection carries
+//! its own read/write buffers plus a line-protocol state machine
+//! ([`crate::conn::ConnState`]). A client may therefore **pipeline**
+//! requests — write many `SUBMIT`s before reading any response — and
+//! responses always come back in request order on that connection.
+//! Slow readers get backpressure, not unbounded buffering: once a
+//! connection's unsent output passes a soft cap, the loop stops
+//! parsing its input until the peer drains.
+//!
+//! The shared [`Service`] serializes state behind three locks:
 //!
 //! * the **queue state** (bounded ticket queue + in-flight count +
 //!   pause/drain/stop latches) under one mutex with one condvar, so
-//!   load shedding, worker wakeup, and drain waiting can never miss a
+//!   load shedding, worker wakeup, and drain tracking can never miss a
 //!   notification;
 //! * the **ticket table** (request lifecycle: queued → running →
-//!   done/deadline-exceeded/failed);
-//! * the **response cache**, keyed by the full canonical request string
-//!   (the FNV hash clients see is display-only, so hash collisions
-//!   cannot alias results).
+//!   done/deadline-exceeded/failed). Tickets are *bounded*: a terminal
+//!   ticket is reaped at its first successful `POLL`, and a TTL sweep
+//!   in the deadline monitor reaps terminal tickets nobody polls.
+//!   Tickets store the cache key of their result, never a second copy
+//!   of the bytes;
+//! * the **response cache**, keyed by the full canonical request
+//!   string (the FNV hash clients see is display-only, so hash
+//!   collisions cannot alias results). When a store directory is
+//!   configured, the cache is two-level: misses probe the persistent
+//!   [`ResultStore`](crate::store::ResultStore) admission index (one
+//!   `HashMap` probe, no I/O on a cold miss), and disk hits are
+//!   promoted into memory — so a *restarted* server answers previously
+//!   served requests without simulating.
 //!
 //! Workers execute through a shared serial
 //! [`SweepRunner`](tpharness::sweep::SweepRunner), which supplies the
-//! canonical execution path (results byte-identical to direct CLI runs)
-//! plus a second, config-level cache shared across requests; the
-//! server's own pool supplies the concurrency. Seed-overriding requests
-//! bypass the sweep runner — its cache key deliberately ignores seeds —
-//! and run through the cancellable experiment runners directly.
+//! canonical execution path (results byte-identical to direct CLI
+//! runs) plus a second, config-level cache shared across requests; the
+//! server's own pool supplies the concurrency. Seed-overriding
+//! requests bypass the sweep runner — its cache key deliberately
+//! ignores seeds — and run through the cancellable experiment runners
+//! directly.
 //!
 //! Cancellation is cooperative and epoch-granular: a deadline monitor
 //! flips the ticket's [`CancelToken`] and the engine notices at its
 //! next epoch boundary (every [`tpsim::CANCEL_EPOCH`] accesses). The
 //! simulator's hot loop stays branch-cheap and the abandoned run
 //! leaves no partial state anywhere (cancelled runs cache nothing).
+//!
+//! `SHUTDOWN` cannot block the event loop, so its reply is *deferred*:
+//! the connection stops parsing further input, the drain proceeds, and
+//! the acknowledgement is queued once the last in-flight request
+//! finishes — a shutdown response in hand still means every accepted
+//! request has completed.
 
-use crate::conn::Conn;
+use crate::conn::{Conn, ConnState, FillOutcome};
 use crate::hist::LogHistogram;
-use crate::protocol::{read_frame, Request};
+use crate::protocol::Request;
+use crate::store::{ResultStore, StoreStats, DEFAULT_STORE_CAP_BYTES};
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader, Write};
+use std::io;
 use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::fd::AsRawFd;
 #[cfg(unix)]
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
@@ -52,19 +81,25 @@ use tpsim::CancelToken;
 /// Default bounded-queue capacity.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
-/// How long idle handler threads linger after shutdown completes, so
+/// How long idle connections linger after shutdown completes, so
 /// clients can still collect responses for drained work.
 const SHUTDOWN_LINGER: Duration = Duration::from_secs(2);
 
-/// Handler read-timeout tick; bounds how fast handlers notice shutdown.
-const HANDLER_TICK: Duration = Duration::from_millis(100);
+/// Event-loop poll timeout: bounds how fast the loop notices drain
+/// completion and the external termination flag when no fd is ready.
+const POLL_TICK: Duration = Duration::from_millis(20);
 
 /// Deadline monitor scan interval.
 const MONITOR_TICK: Duration = Duration::from_millis(2);
 
-/// Accept-loop poll interval (the listener is non-blocking so the loop
-/// can watch the shutdown latches).
-const ACCEPT_TICK: Duration = Duration::from_millis(10);
+/// Terminal tickets nobody polls are reaped after this long, bounding
+/// the ticket table even for clients that submit and vanish.
+const TICKET_TTL: Duration = Duration::from_secs(60);
+
+/// Per-connection unsent-output soft cap. Past it the loop stops
+/// parsing that connection's input (backpressure) until the peer
+/// drains what it already owes.
+const WRITE_BACKPRESSURE_BYTES: usize = 4 * 1024 * 1024;
 
 /// Server construction knobs.
 #[derive(Clone, Debug)]
@@ -80,6 +115,12 @@ pub struct ServerConfig {
     /// Start with the queue paused (test hook: lets a test fill the
     /// queue deterministically before any worker pops).
     pub start_paused: bool,
+    /// Root directory for the persistent content-addressed result
+    /// store; `None` keeps results in memory only (lost on restart).
+    pub store_dir: Option<PathBuf>,
+    /// Byte cap for the on-disk store; exceeding it reclaims
+    /// least-recently-used entries.
+    pub store_cap_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +130,8 @@ impl Default for ServerConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             audit: false,
             start_paused: false,
+            store_dir: None,
+            store_cap_bytes: DEFAULT_STORE_CAP_BYTES,
         }
     }
 }
@@ -103,13 +146,15 @@ enum TicketState {
 
 struct Ticket {
     request: Request,
+    /// Cache key of the result; `Done` tickets carry no report bytes —
+    /// `POLL` fetches them from the (two-level) cache by this key.
     canonical: String,
     cancel: CancelToken,
     deadline: Option<Instant>,
     accepted: Instant,
     state: TicketState,
-    /// Canonical encoded report, once done.
-    report: Option<String>,
+    /// When the ticket reached a terminal state (drives the TTL reap).
+    completed: Option<Instant>,
 }
 
 struct QueueState {
@@ -125,6 +170,7 @@ struct Counters {
     rejected: AtomicU64,
     errors: AtomicU64,
     cache_hits: AtomicU64,
+    store_hits: AtomicU64,
     simulations: AtomicU64,
     cancelled: AtomicU64,
     failed: AtomicU64,
@@ -139,10 +185,24 @@ pub(crate) struct Service {
     tickets: Mutex<HashMap<u64, Ticket>>,
     next_ticket: AtomicU64,
     cache: Mutex<HashMap<String, String>>,
+    store: Option<ResultStore>,
     counters: Counters,
-    hist: Mutex<LogHistogram>,
+    /// Service times split by outcome: a ~46 µs cache hit and a ~0.5 s
+    /// simulation in one histogram would make the p50 meaningless as a
+    /// load signal, so STATS reports them separately.
+    hit_hist: Mutex<LogHistogram>,
+    sim_hist: Mutex<LogHistogram>,
     accept_stop: AtomicBool,
     started: Instant,
+}
+
+/// Outcome of dispatching one protocol line.
+pub(crate) enum Dispatch {
+    /// Reply immediately.
+    Reply(Value),
+    /// `SHUTDOWN`: the event loop begins the drain and defers the
+    /// reply until every accepted request has finished.
+    Shutdown,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -157,14 +217,18 @@ fn status_err(reason: impl Into<String>) -> Value {
 }
 
 impl Service {
-    fn new(cfg: ServerConfig) -> Arc<Service> {
+    fn new(cfg: ServerConfig) -> io::Result<Arc<Service>> {
         let workers = if cfg.workers == 0 {
             tpharness::jobs::worker_count(None)
         } else {
             cfg.workers
         };
         let paused = cfg.start_paused;
-        Arc::new(Service {
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(ResultStore::open(dir, cfg.store_cap_bytes)?),
+            None => None,
+        };
+        Ok(Arc::new(Service {
             cfg,
             workers,
             // Serial runner: the service's own pool is the parallelism;
@@ -182,19 +246,22 @@ impl Service {
             tickets: Mutex::new(HashMap::new()),
             next_ticket: AtomicU64::new(1),
             cache: Mutex::new(HashMap::new()),
+            store,
             counters: Counters {
                 served: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 errors: AtomicU64::new(0),
                 cache_hits: AtomicU64::new(0),
+                store_hits: AtomicU64::new(0),
                 simulations: AtomicU64::new(0),
                 cancelled: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
             },
-            hist: Mutex::new(LogHistogram::new()),
+            hit_hist: Mutex::new(LogHistogram::new()),
+            sim_hist: Mutex::new(LogHistogram::new()),
             accept_stop: AtomicBool::new(false),
             started: Instant::now(),
-        })
+        }))
     }
 
     fn key_hex(canonical: &str) -> String {
@@ -207,19 +274,65 @@ impl Service {
         wire::parse(encoded).unwrap_or_else(|_| Value::Str(encoded.to_string()))
     }
 
-    fn done_response(&self, ticket: u64, canonical: &str, cached: bool, encoded: &str) -> Value {
-        obj(vec![
-            ("status", Value::Str("done".into())),
-            ("ticket", Value::u64(ticket)),
-            ("key", Value::Str(Self::key_hex(canonical))),
-            ("cached", Value::Bool(cached)),
-            ("report", Self::report_value(encoded)),
-        ])
+    /// `ticket` is `None` for synchronous cache-hit replies: they are
+    /// complete in hand, so there is nothing to poll and no ticket is
+    /// retained for them.
+    fn done_response(
+        &self,
+        ticket: Option<u64>,
+        canonical: &str,
+        cached: bool,
+        encoded: &str,
+    ) -> Value {
+        let mut fields = vec![("status", Value::Str("done".into()))];
+        if let Some(id) = ticket {
+            fields.push(("ticket", Value::u64(id)));
+        }
+        fields.push(("key", Value::Str(Self::key_hex(canonical))));
+        fields.push(("cached", Value::Bool(cached)));
+        fields.push(("report", Self::report_value(encoded)));
+        obj(fields)
     }
 
-    fn record_service_time(&self, accepted: Instant) {
+    fn record_time(hist: &Mutex<LogHistogram>, accepted: Instant) {
         let us = accepted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        self.hist.lock().expect("hist lock").record(us);
+        hist.lock().expect("hist lock").record(us);
+    }
+
+    /// Two-level cached-result lookup: memory first, then one probe of
+    /// the store's admission index (a cold miss costs no disk I/O).
+    /// Disk hits are promoted into memory.
+    fn lookup_cached(&self, canonical: &str) -> Option<String> {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("response cache lock")
+            .get(canonical)
+            .cloned()
+        {
+            return Some(hit);
+        }
+        let report = self.store.as_ref()?.get(canonical)?;
+        self.counters.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("response cache lock")
+            .insert(canonical.to_string(), report.clone());
+        Some(report)
+    }
+
+    /// Publishes a finished report under its canonical key: memory
+    /// cache plus (when configured) the persistent store.
+    fn publish(&self, canonical: &str, encoded: &str) {
+        self.cache
+            .lock()
+            .expect("response cache lock")
+            .insert(canonical.to_string(), encoded.to_string());
+        if let Some(store) = &self.store {
+            // A store write failure degrades persistence, not
+            // correctness: the report is already served from memory.
+            let _ = store.put(canonical, encoded);
+        }
     }
 
     /// Handles `SUBMIT`: cache-hit fast path, load shedding, or enqueue.
@@ -227,33 +340,14 @@ impl Service {
         let canonical = request.canonical();
         let accepted = Instant::now();
 
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("response cache lock")
-            .get(&canonical)
-            .cloned()
-        {
+        if let Some(hit) = self.lookup_cached(&canonical) {
             // Cache hit: answered synchronously, no queue slot consumed,
-            // no simulation run.
-            let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-            let cancel = CancelToken::new();
-            self.tickets.lock().expect("ticket lock").insert(
-                id,
-                Ticket {
-                    request,
-                    canonical: canonical.clone(),
-                    cancel,
-                    deadline: None,
-                    accepted,
-                    state: TicketState::Done { cached: true },
-                    report: Some(hit.clone()),
-                },
-            );
+            // no simulation run, and — because the reply below is the
+            // delivery — no ticket retained.
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.counters.served.fetch_add(1, Ordering::Relaxed);
-            self.record_service_time(accepted);
-            return self.done_response(id, &canonical, true, &hit);
+            Self::record_time(&self.hit_hist, accepted);
+            return self.done_response(None, &canonical, true, &hit);
         }
 
         let deadline = request
@@ -288,7 +382,7 @@ impl Service {
                 deadline,
                 accepted,
                 state: TicketState::Queued,
-                report: None,
+                completed: None,
             },
         );
         qs.queue.push_back(id);
@@ -304,33 +398,87 @@ impl Service {
     }
 
     fn poll(&self, id: u64) -> Value {
-        let tickets = self.tickets.lock().expect("ticket lock");
-        let Some(t) = tickets.get(&id) else {
-            return status_err(format!("unknown ticket {id}"));
-        };
-        match &t.state {
-            TicketState::Queued => obj(vec![
-                ("status", Value::Str("queued".into())),
-                ("ticket", Value::u64(id)),
-            ]),
-            TicketState::Running => obj(vec![
-                ("status", Value::Str("running".into())),
-                ("ticket", Value::u64(id)),
-            ]),
-            TicketState::Done { cached } => {
-                let encoded = t.report.as_deref().expect("done tickets carry a report");
-                self.done_response(id, &t.canonical, *cached, encoded)
-            }
-            TicketState::DeadlineExceeded => obj(vec![
-                ("status", Value::Str("deadline-exceeded".into())),
-                ("ticket", Value::u64(id)),
-            ]),
-            TicketState::Failed(reason) => obj(vec![
-                ("status", Value::Str("failed".into())),
-                ("ticket", Value::u64(id)),
-                ("reason", Value::Str(reason.clone())),
-            ]),
+        // Snapshot the state, then reap terminal tickets *after* their
+        // response is built: the first successful POLL is the delivery,
+        // and keeping delivered tickets around is how the old server
+        // leaked memory on every request.
+        enum Snap {
+            Pending(&'static str),
+            Done { cached: bool, canonical: String },
+            DeadlineExceeded,
+            Failed(String),
         }
+        let mut tickets = self.tickets.lock().expect("ticket lock");
+        let snap = match tickets.get(&id) {
+            None => return status_err(format!("unknown ticket {id}")),
+            Some(t) => match &t.state {
+                TicketState::Queued => Snap::Pending("queued"),
+                TicketState::Running => Snap::Pending("running"),
+                TicketState::Done { cached } => Snap::Done {
+                    cached: *cached,
+                    canonical: t.canonical.clone(),
+                },
+                TicketState::DeadlineExceeded => Snap::DeadlineExceeded,
+                TicketState::Failed(reason) => Snap::Failed(reason.clone()),
+            },
+        };
+        match snap {
+            Snap::Pending(status) => obj(vec![
+                ("status", Value::Str(status.into())),
+                ("ticket", Value::u64(id)),
+            ]),
+            Snap::Done { cached, canonical } => {
+                tickets.remove(&id);
+                drop(tickets);
+                match self.lookup_cached(&canonical) {
+                    Some(encoded) => self.done_response(Some(id), &canonical, cached, &encoded),
+                    // Only reachable if the byte cap evicted the result
+                    // between completion and this poll.
+                    None => status_err(format!(
+                        "ticket {id}: result evicted from the cache; resubmit"
+                    )),
+                }
+            }
+            Snap::DeadlineExceeded => {
+                tickets.remove(&id);
+                obj(vec![
+                    ("status", Value::Str("deadline-exceeded".into())),
+                    ("ticket", Value::u64(id)),
+                ])
+            }
+            Snap::Failed(reason) => {
+                tickets.remove(&id);
+                obj(vec![
+                    ("status", Value::Str("failed".into())),
+                    ("ticket", Value::u64(id)),
+                    ("reason", Value::Str(reason)),
+                ])
+            }
+        }
+    }
+
+    fn hist_value(hist: &Mutex<LogHistogram>) -> Value {
+        let h = hist.lock().expect("hist lock").clone();
+        obj(vec![
+            ("count", Value::u64(h.count())),
+            ("p50", Value::u64(h.p50())),
+            ("p99", Value::u64(h.p99())),
+        ])
+    }
+
+    fn store_value(&self) -> Value {
+        let s = self.store.as_ref().map(ResultStore::stats).unwrap_or_default();
+        obj(vec![
+            ("enabled", Value::Bool(self.store.is_some())),
+            ("entries", Value::u64(s.entries)),
+            ("resident_bytes", Value::u64(s.resident_bytes)),
+            ("hits", Value::u64(s.hits)),
+            ("misses", Value::u64(s.misses)),
+            ("inserts", Value::u64(s.inserts)),
+            ("evictions", Value::u64(s.evictions)),
+            ("collisions", Value::u64(s.collisions)),
+            ("load_errors", Value::u64(s.load_errors)),
+        ])
     }
 
     fn stats(&self) -> Value {
@@ -338,7 +486,7 @@ impl Service {
             let qs = self.qs.lock().expect("queue lock");
             (qs.queue.len(), qs.in_flight)
         };
-        let hist = self.hist.lock().expect("hist lock").clone();
+        let tickets = self.tickets.lock().expect("ticket lock").len();
         let c = &self.counters;
         let tp = tptrace::pool::global().stats();
         obj(vec![
@@ -350,10 +498,14 @@ impl Service {
                     ("in_flight", Value::u64(in_flight as u64)),
                     ("workers", Value::u64(self.workers as u64)),
                     ("queue_capacity", Value::u64(self.cfg.queue_capacity as u64)),
+                    // Live ticket-table size: bounded by reap-on-poll +
+                    // the TTL sweep (the old server leaked here).
+                    ("tickets", Value::u64(tickets as u64)),
                     ("served", Value::u64(c.served.load(Ordering::Relaxed))),
                     ("rejected", Value::u64(c.rejected.load(Ordering::Relaxed))),
                     ("errors", Value::u64(c.errors.load(Ordering::Relaxed))),
                     ("cache_hits", Value::u64(c.cache_hits.load(Ordering::Relaxed))),
+                    ("store_hits", Value::u64(c.store_hits.load(Ordering::Relaxed))),
                     ("simulations", Value::u64(c.simulations.load(Ordering::Relaxed))),
                     ("cancelled", Value::u64(c.cancelled.load(Ordering::Relaxed))),
                     ("failed", Value::u64(c.failed.load(Ordering::Relaxed))),
@@ -365,6 +517,8 @@ impl Service {
                         "sweep_cache_entries",
                         Value::u64(self.runner.cached_jobs() as u64),
                     ),
+                    // Persistent result store (zeros when disabled).
+                    ("store", self.store_value()),
                     (
                         // Process-wide trace pool (see tptrace::pool):
                         // how much trace generation the workers shared.
@@ -378,11 +532,13 @@ impl Service {
                         ]),
                     ),
                     (
+                        // Split by outcome: one histogram mixing ~46 µs
+                        // hits with ~0.5 s simulations reports a p50
+                        // that tracks the hit/miss ratio, not load.
                         "service_time_us",
                         obj(vec![
-                            ("count", Value::u64(hist.count())),
-                            ("p50", Value::u64(hist.p50())),
-                            ("p99", Value::u64(hist.p99())),
+                            ("hit", Self::hist_value(&self.hit_hist)),
+                            ("simulated", Self::hist_value(&self.sim_hist)),
                         ]),
                     ),
                     (
@@ -395,17 +551,19 @@ impl Service {
         ])
     }
 
-    /// Blocks until the queue is empty and nothing is in flight; new
-    /// submissions are shed with `shutting-down` from the moment this
-    /// is called. Idempotent. Returns the number of requests served.
-    fn drain(&self) -> u64 {
-        let mut qs = self.qs.lock().expect("queue lock");
-        qs.draining = true;
+    /// Starts shedding new uncached submissions; queued and in-flight
+    /// work runs to completion. Idempotent and non-blocking — the
+    /// event loop watches [`Service::drain_finished`].
+    fn begin_drain(&self) {
+        self.qs.lock().expect("queue lock").draining = true;
         self.qcv.notify_all();
-        while !(qs.queue.is_empty() && qs.in_flight == 0) {
-            qs = self.qcv.wait(qs).expect("queue lock");
-        }
-        self.counters.served.load(Ordering::Relaxed)
+    }
+
+    /// True once a drain was requested and nothing is queued or
+    /// in flight.
+    fn drain_finished(&self) -> bool {
+        let qs = self.qs.lock().expect("queue lock");
+        qs.draining && qs.queue.is_empty() && qs.in_flight == 0
     }
 
     fn set_paused(&self, paused: bool) {
@@ -469,32 +627,26 @@ impl Service {
             )
         };
 
-        let set_state = |state: TicketState, report: Option<String>| {
+        let set_state = |state: TicketState| {
             let mut tickets = self.tickets.lock().expect("ticket lock");
             let t = tickets.get_mut(&id).expect("running ticket exists");
             t.state = state;
-            t.report = report;
+            t.completed = Some(Instant::now());
         };
 
         // Expired while queued: don't start a doomed run.
         if deadline.is_some_and(|d| Instant::now() >= d) {
             self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-            set_state(TicketState::DeadlineExceeded, None);
+            set_state(TicketState::DeadlineExceeded);
             return;
         }
 
         // An identical request may have completed while this one queued.
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("response cache lock")
-            .get(&canonical)
-            .cloned()
-        {
+        if self.lookup_cached(&canonical).is_some() {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.counters.served.fetch_add(1, Ordering::Relaxed);
-            self.record_service_time(accepted);
-            set_state(TicketState::Done { cached: true }, Some(hit));
+            Self::record_time(&self.hit_hist, accepted);
+            set_state(TicketState::Done { cached: true });
             return;
         }
 
@@ -518,31 +670,40 @@ impl Service {
         match result {
             None => {
                 self.counters.cancelled.fetch_add(1, Ordering::Relaxed);
-                set_state(TicketState::DeadlineExceeded, None);
+                set_state(TicketState::DeadlineExceeded);
             }
             Some(report) => {
                 self.counters.simulations.fetch_add(1, Ordering::Relaxed);
                 if (self.cfg.audit || request.audit) && !report.audit.passed() {
                     self.counters.failed.fetch_add(1, Ordering::Relaxed);
-                    set_state(
-                        TicketState::Failed("conservation-law audit failed".into()),
-                        None,
-                    );
+                    set_state(TicketState::Failed(
+                        "conservation-law audit failed".into(),
+                    ));
                     return;
                 }
                 let encoded = encode_sim_report(&report);
-                self.cache
-                    .lock()
-                    .expect("response cache lock")
-                    .insert(canonical, encoded.clone());
+                self.publish(&canonical, &encoded);
                 self.counters.served.fetch_add(1, Ordering::Relaxed);
-                self.record_service_time(accepted);
-                set_state(TicketState::Done { cached: false }, Some(encoded));
+                Self::record_time(&self.sim_hist, accepted);
+                set_state(TicketState::Done { cached: false });
             }
         }
     }
 
     // --- deadline monitor --------------------------------------------
+
+    /// Reaps terminal tickets whose results have gone uncollected for
+    /// `ttl` (the monitor passes [`TICKET_TTL`]; tests pass zero).
+    fn reap_expired_tickets(&self, ttl: Duration) {
+        let now = Instant::now();
+        self.tickets
+            .lock()
+            .expect("ticket lock")
+            .retain(|_, t| match t.completed {
+                Some(done) => now.duration_since(done) < ttl,
+                None => true,
+            });
+    }
 
     fn monitor_loop(&self) {
         loop {
@@ -563,22 +724,23 @@ impl Service {
                     }
                 }
             }
+            self.reap_expired_tickets(TICKET_TTL);
             std::thread::sleep(MONITOR_TICK);
         }
     }
 
     // --- protocol dispatch -------------------------------------------
 
-    /// Handles one protocol line. `SHUTDOWN` blocks until the drain
-    /// completes and flips `accept_stop` before replying, so a shutdown
-    /// response in hand means every accepted request has finished.
-    fn dispatch(&self, line: &str) -> Value {
+    /// Handles one protocol line. `SHUTDOWN` returns
+    /// [`Dispatch::Shutdown`] so the event loop can drain without
+    /// blocking; every other verb replies immediately.
+    fn dispatch(&self, line: &str) -> Dispatch {
         let line = line.trim();
         let (verb, rest) = match line.find(' ') {
             Some(i) => (&line[..i], line[i + 1..].trim()),
             None => (line, ""),
         };
-        match verb {
+        Dispatch::Reply(match verb {
             "PING" => obj(vec![
                 ("status", Value::Str("ok".into())),
                 ("pong", Value::Bool(true)),
@@ -601,77 +763,243 @@ impl Service {
                     status_err("POLL needs a ticket number")
                 }
             },
-            "SHUTDOWN" => {
-                let served = self.drain();
-                self.accept_stop.store(true, Ordering::SeqCst);
-                obj(vec![
-                    ("status", Value::Str("ok".into())),
-                    ("draining", Value::Bool(true)),
-                    ("served", Value::u64(served)),
-                ])
-            }
+            "SHUTDOWN" => return Dispatch::Shutdown,
             other => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
                 status_err(format!(
                     "unknown verb {other:?} (SUBMIT|POLL|STATS|PING|SHUTDOWN)"
                 ))
             }
-        }
-    }
-
-    fn handle_connection(self: Arc<Self>, conn: Conn) {
-        let _ = conn.set_read_timeout(Some(HANDLER_TICK));
-        let mut writer = match conn.try_clone() {
-            Ok(w) => w,
-            Err(_) => return,
-        };
-        let mut reader = BufReader::new(conn);
-        let mut scratch = Vec::new();
-        let mut last_activity = Instant::now();
-        loop {
-            match read_frame(&mut reader, &mut scratch) {
-                Ok(None) => return, // client hung up
-                Ok(Some(line)) => {
-                    if line.is_empty() {
-                        continue;
-                    }
-                    last_activity = Instant::now();
-                    let mut out = self.dispatch(&line).encode();
-                    out.push('\n');
-                    if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
-                        return;
-                    }
-                }
-                Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-                {
-                    // Idle tick: after shutdown completes, linger briefly
-                    // so clients can still collect responses, then close.
-                    if self.finished() && last_activity.elapsed() > SHUTDOWN_LINGER {
-                        return;
-                    }
-                }
-                Err(e) => {
-                    // Oversized line / bad UTF-8 / hard I/O error: tell
-                    // the client if possible, then drop the connection
-                    // (framing is unrecoverable).
-                    let mut out = status_err(e.to_string()).encode();
-                    out.push('\n');
-                    let _ = writer.write_all(out.as_bytes());
-                    return;
-                }
-            }
-        }
+        })
     }
 }
 
 // ---------------------------------------------------------------------
-// Listener + accept loop
+// Readiness polling
+// ---------------------------------------------------------------------
+
+/// Raw-fd readiness polling for the event loop: `poll(2)` on Unix.
+#[cfg(unix)]
+mod readiness {
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    // std links libc on every supported Unix; declaring `poll`
+    // directly keeps the workspace dependency-free (same idiom as the
+    // `signal` declaration in the tpserve binary).
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout_ms: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    /// What the loop wants to know about one fd.
+    #[derive(Clone, Copy, Default)]
+    pub struct Interest {
+        pub read: bool,
+        pub write: bool,
+    }
+
+    /// What the kernel reported. Only read-readiness is surfaced:
+    /// the loop flushes any pending output every tick regardless, so
+    /// write interest exists purely to wake the poll when a
+    /// previously-full socket drains. Errors/hangups surface as
+    /// read-readiness so the next nonblocking op observes the failure.
+    #[derive(Clone, Copy, Default)]
+    pub struct Ready {
+        pub read: bool,
+    }
+
+    pub type Token = RawFd;
+
+    /// Blocks until any interested fd is ready or `timeout` elapses.
+    pub fn wait(entries: &[(Token, Interest)], timeout: Duration) -> Vec<Ready> {
+        let mut fds: Vec<PollFd> = entries
+            .iter()
+            .map(|&(fd, i)| PollFd {
+                fd,
+                events: if i.read { POLLIN } else { 0 } | if i.write { POLLOUT } else { 0 },
+                revents: 0,
+            })
+            .collect();
+        let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
+        if n <= 0 {
+            // Timeout or EINTR: nothing ready; the loop ticks anyway.
+            return vec![Ready::default(); entries.len()];
+        }
+        fds.iter()
+            .map(|p| Ready {
+                read: p.revents & (POLLIN | POLLERR | POLLHUP) != 0,
+            })
+            .collect()
+    }
+}
+
+/// Portable fallback: no fd readiness API, so the loop sleeps one
+/// short tick and then *attempts* every interested nonblocking op
+/// (reads return `WouldBlock` harmlessly when nothing is pending).
+#[cfg(not(unix))]
+mod readiness {
+    use std::time::Duration;
+
+    #[derive(Clone, Copy, Default)]
+    pub struct Interest {
+        pub read: bool,
+        pub write: bool,
+    }
+
+    #[derive(Clone, Copy, Default)]
+    pub struct Ready {
+        pub read: bool,
+    }
+
+    pub type Token = ();
+
+    pub fn wait(entries: &[(Token, Interest)], timeout: Duration) -> Vec<Ready> {
+        std::thread::sleep(timeout.min(Duration::from_millis(2)));
+        entries.iter().map(|&(_, i)| Ready { read: i.read }).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener + event loop
 // ---------------------------------------------------------------------
 
 enum ListenerKind {
     Tcp(TcpListener),
     #[cfg(unix)]
     Unix { listener: UnixListener, path: PathBuf },
+}
+
+impl ListenerKind {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            ListenerKind::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            ListenerKind::Unix { listener, .. } => listener.set_nonblocking(true),
+        }
+    }
+
+    #[cfg(unix)]
+    fn token(&self) -> readiness::Token {
+        match self {
+            ListenerKind::Tcp(l) => l.as_raw_fd(),
+            ListenerKind::Unix { listener, .. } => listener.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn token(&self) -> readiness::Token {}
+
+    /// Accepts one pending connection, or `None` on `WouldBlock`.
+    fn accept(&self) -> io::Result<Option<Conn>> {
+        let conn = match self {
+            ListenerKind::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Conn::Tcp(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+            #[cfg(unix)]
+            ListenerKind::Unix { listener, .. } => match listener.accept() {
+                Ok((s, _)) => Conn::Unix(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(Some(conn))
+    }
+}
+
+#[cfg(unix)]
+fn conn_token(cs: &ConnState) -> readiness::Token {
+    cs.raw_fd()
+}
+
+#[cfg(not(unix))]
+fn conn_token(_cs: &ConnState) -> readiness::Token {}
+
+/// One event-loop connection: buffered stream plus protocol phase.
+struct EventConn {
+    cs: ConnState,
+    /// Hit `SHUTDOWN`: parsing is paused (preserving response order on
+    /// a pipelined stream) until the drain completes and the deferred
+    /// acknowledgement is queued.
+    awaiting_drain: bool,
+    /// Flush whatever is queued, then drop (framing error or EOF).
+    closing: bool,
+    /// Hard I/O failure: drop immediately.
+    dead: bool,
+}
+
+impl EventConn {
+    /// Parses and dispatches every complete buffered line, stopping at
+    /// backpressure, `SHUTDOWN`, or a framing error.
+    fn process(&mut self, service: &Service) {
+        while !self.closing && !self.awaiting_drain {
+            match self.cs.next_line() {
+                Ok(Some(line)) => {
+                    if line.is_empty() {
+                        continue;
+                    }
+                    self.handle_line(service, &line);
+                    if self.cs.pending_out() >= WRITE_BACKPRESSURE_BYTES {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    // EOF parity with the old framed reader: a final
+                    // unterminated line is still a frame.
+                    if self.cs.eof {
+                        match self.cs.take_partial() {
+                            Some(Ok(line)) if !line.is_empty() => {
+                                self.handle_line(service, &line);
+                                continue;
+                            }
+                            Some(Err(e)) => {
+                                self.queue_value(&status_err(e.message()));
+                                self.closing = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                    return;
+                }
+                Err(e) => {
+                    // Oversized line / bad UTF-8: tell the client, then
+                    // close (framing is unrecoverable).
+                    self.queue_value(&status_err(e.message()));
+                    self.closing = true;
+                }
+            }
+        }
+    }
+
+    fn handle_line(&mut self, service: &Service, line: &str) {
+        match service.dispatch(line) {
+            Dispatch::Reply(v) => self.queue_value(&v),
+            Dispatch::Shutdown => {
+                service.begin_drain();
+                self.awaiting_drain = true;
+            }
+        }
+    }
+
+    fn queue_value(&mut self, v: &Value) {
+        let mut out = v.encode();
+        out.push('\n');
+        self.cs.queue(out.as_bytes());
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -702,6 +1030,16 @@ impl Controller {
     pub fn queue_depth(&self) -> usize {
         self.service.qs.lock().expect("queue lock").queue.len()
     }
+
+    /// Live ticket-table size (bounded by reap-on-poll + TTL).
+    pub fn ticket_count(&self) -> usize {
+        self.service.tickets.lock().expect("ticket lock").len()
+    }
+
+    /// Persistent-store counters, when a store is configured.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.service.store.as_ref().map(ResultStore::stats)
+    }
 }
 
 impl Server {
@@ -710,9 +1048,10 @@ impl Server {
     /// [`Server::addr`] for the resolved address).
     ///
     /// # Errors
-    /// Socket binding errors (address in use, bad path, ...).
+    /// Socket binding errors (address in use, bad path, ...) and
+    /// result-store directory errors.
     pub fn bind(spec: &str, cfg: ServerConfig) -> io::Result<Server> {
-        let service = Service::new(cfg);
+        let service = Service::new(cfg)?;
         if let Some(path) = spec.strip_prefix("unix:") {
             #[cfg(unix)]
             {
@@ -766,10 +1105,10 @@ impl Server {
         self.run_until(&AtomicBool::new(false))
     }
 
-    /// Runs until either a `SHUTDOWN` request completes or `term`
-    /// becomes true (e.g. from a SIGTERM handler); the external path
-    /// performs the same graceful drain — stop accepting, shed new
-    /// submissions, finish in-flight work — before returning.
+    /// Runs the event loop until either a `SHUTDOWN` request completes
+    /// or `term` becomes true (e.g. from a SIGTERM handler); the
+    /// external path performs the same graceful drain — stop accepting,
+    /// shed new submissions, finish in-flight work — before returning.
     ///
     /// # Errors
     /// Fatal accept-loop I/O errors.
@@ -779,11 +1118,7 @@ impl Server {
             listener,
             addr: _,
         } = self;
-        match &listener {
-            ListenerKind::Tcp(l) => l.set_nonblocking(true)?,
-            #[cfg(unix)]
-            ListenerKind::Unix { listener: l, .. } => l.set_nonblocking(true)?,
-        }
+        listener.set_nonblocking()?;
 
         let mut pool = Vec::new();
         for i in 0..service.workers {
@@ -803,44 +1138,138 @@ impl Server {
                 .expect("spawn deadline monitor")
         };
 
-        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut conns: Vec<EventConn> = Vec::new();
+        // Set once the drain completes; carries the served count for
+        // deferred SHUTDOWN acknowledgements.
+        let mut drained_served: Option<u64> = None;
+
         loop {
-            let accepted: Option<Conn> = match &listener {
-                ListenerKind::Tcp(l) => match l.accept() {
-                    Ok((s, _)) => Some(Conn::Tcp(s)),
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
-                    Err(e) => return Err(e),
+            let accepting = !service.accept_stop.load(Ordering::SeqCst);
+
+            // Readiness: listener first, then connections in order.
+            let mut interest: Vec<(readiness::Token, readiness::Interest)> =
+                Vec::with_capacity(conns.len() + 1);
+            interest.push((
+                listener.token(),
+                readiness::Interest {
+                    read: accepting,
+                    write: false,
                 },
-                #[cfg(unix)]
-                ListenerKind::Unix { listener: l, .. } => match l.accept() {
-                    Ok((s, _)) => Some(Conn::Unix(s)),
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => None,
-                    Err(e) => return Err(e),
-                },
-            };
-            match accepted {
-                Some(conn) => {
-                    let svc = Arc::clone(&service);
-                    handlers.push(
-                        std::thread::Builder::new()
-                            .name("tpserve-conn".into())
-                            .spawn(move || svc.handle_connection(conn))
-                            .expect("spawn connection handler"),
-                    );
-                    handlers.retain(|h| !h.is_finished());
-                }
-                None => {
-                    if term.load(Ordering::SeqCst) && !service.accept_stop.load(Ordering::SeqCst) {
-                        // External termination: same graceful path as a
-                        // protocol SHUTDOWN.
-                        service.drain();
-                        service.accept_stop.store(true, Ordering::SeqCst);
+            ));
+            for c in &conns {
+                interest.push((
+                    conn_token(&c.cs),
+                    readiness::Interest {
+                        read: !c.closing
+                            && !c.awaiting_drain
+                            && !c.cs.eof
+                            && c.cs.pending_out() < WRITE_BACKPRESSURE_BYTES,
+                        write: c.cs.pending_out() > 0,
+                    },
+                ));
+            }
+            let ready = readiness::wait(&interest, POLL_TICK);
+            let known = conns.len();
+
+            // Accept every pending connection.
+            if accepting && ready[0].read {
+                loop {
+                    match listener.accept() {
+                        Ok(Some(conn)) => match ConnState::new(conn) {
+                            Ok(cs) => conns.push(EventConn {
+                                cs,
+                                awaiting_drain: false,
+                                closing: false,
+                                dead: false,
+                            }),
+                            Err(_) => continue,
+                        },
+                        Ok(None) => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                        Err(e) => return Err(e),
                     }
-                    if service.finished() {
-                        break;
-                    }
-                    std::thread::sleep(ACCEPT_TICK);
                 }
+            }
+
+            // Per-connection I/O. Fresh connections (index >= known)
+            // get an immediate first read instead of waiting a tick.
+            for (i, c) in conns.iter_mut().enumerate() {
+                if c.dead {
+                    continue;
+                }
+                let read_ready = i >= known || ready[i + 1].read;
+                if read_ready && !c.closing && !c.cs.eof {
+                    match c.cs.fill() {
+                        Ok(FillOutcome::Progress | FillOutcome::Eof | FillOutcome::Idle) => {}
+                        Err(_) => {
+                            c.dead = true;
+                            continue;
+                        }
+                    }
+                }
+                c.process(&service);
+            }
+
+            // External termination requests the same graceful drain as
+            // a protocol SHUTDOWN.
+            if term.load(Ordering::SeqCst) && drained_served.is_none() {
+                service.begin_drain();
+            }
+            if drained_served.is_none() && service.drain_finished() {
+                service.accept_stop.store(true, Ordering::SeqCst);
+                drained_served = Some(service.counters.served.load(Ordering::Relaxed));
+                // The post-drain linger clock starts *now*: a client
+                // that sat idle while its work drained still gets the
+                // full window to collect responses.
+                let now = Instant::now();
+                for c in conns.iter_mut() {
+                    c.cs.last_activity = now;
+                }
+            }
+            if let Some(served) = drained_served {
+                // Deferred SHUTDOWN acknowledgements: queued only now,
+                // so a reply in hand means every accepted request ran.
+                for c in conns.iter_mut().filter(|c| c.awaiting_drain) {
+                    c.awaiting_drain = false;
+                    c.queue_value(&obj(vec![
+                        ("status", Value::Str("ok".into())),
+                        ("draining", Value::Bool(true)),
+                        ("served", Value::u64(served)),
+                    ]));
+                    // Parse anything pipelined behind the SHUTDOWN.
+                    c.process(&service);
+                }
+            }
+
+            // Flush and cull.
+            let finished = service.finished();
+            for c in conns.iter_mut() {
+                if !c.dead && c.cs.pending_out() > 0 && c.cs.flush().is_err() {
+                    c.dead = true;
+                }
+            }
+            conns.retain(|c| {
+                if c.dead {
+                    return false;
+                }
+                let flushed = c.cs.pending_out() == 0;
+                if c.closing && flushed {
+                    return false;
+                }
+                if c.cs.eof && flushed && !c.awaiting_drain {
+                    return false;
+                }
+                // Post-drain linger: keep serving POLLs briefly, then
+                // close idle connections so the process can exit.
+                if finished && flushed && c.cs.last_activity.elapsed() > SHUTDOWN_LINGER {
+                    return false;
+                }
+                true
+            });
+
+            if finished && conns.is_empty() {
+                break;
             }
         }
 
@@ -849,9 +1278,6 @@ impl Server {
             let _ = h.join();
         }
         let _ = monitor.join();
-        for h in handlers {
-            let _ = h.join();
-        }
         #[cfg(unix)]
         if let ListenerKind::Unix { path, .. } = &listener {
             let _ = std::fs::remove_file(path);
@@ -866,11 +1292,18 @@ mod tests {
     use tpharness::wire::parse;
 
     fn svc(cfg: ServerConfig) -> Arc<Service> {
-        Service::new(cfg)
+        Service::new(cfg).expect("service")
+    }
+
+    fn reply(s: &Service, line: &str) -> Value {
+        match s.dispatch(line) {
+            Dispatch::Reply(v) => v,
+            Dispatch::Shutdown => panic!("unexpected shutdown dispatch"),
+        }
     }
 
     fn submit_line(s: &Service, json: &str) -> Value {
-        s.dispatch(&format!("SUBMIT {json}"))
+        reply(s, &format!("SUBMIT {json}"))
     }
 
     #[test]
@@ -903,22 +1336,25 @@ mod tests {
     #[test]
     fn stats_shape_is_complete() {
         let s = svc(ServerConfig::default());
-        let v = s.dispatch("STATS");
+        let v = reply(&s, "STATS");
         let stats = v.get("stats").unwrap();
         for field in [
             "queue_depth",
             "in_flight",
             "workers",
             "queue_capacity",
+            "tickets",
             "served",
             "rejected",
             "errors",
             "cache_hits",
+            "store_hits",
             "simulations",
             "cancelled",
             "failed",
             "cache_entries",
             "sweep_cache_entries",
+            "store",
             "trace_pool",
             "service_time_us",
             "uptime_ms",
@@ -929,6 +1365,29 @@ mod tests {
         for field in ["hits", "misses", "generations", "evictions", "resident_bytes"] {
             assert!(tp.get(field).is_some(), "trace_pool missing {field}");
         }
+        let store = stats.get("store").unwrap();
+        for field in [
+            "enabled",
+            "entries",
+            "resident_bytes",
+            "hits",
+            "misses",
+            "inserts",
+            "evictions",
+            "collisions",
+            "load_errors",
+        ] {
+            assert!(store.get(field).is_some(), "store missing {field}");
+        }
+        assert_eq!(store.get("enabled").unwrap().as_bool(), Some(false));
+        // Per-outcome service-time histograms (hit vs simulated).
+        let st = stats.get("service_time_us").unwrap();
+        for outcome in ["hit", "simulated"] {
+            let h = st.get(outcome).unwrap();
+            for field in ["count", "p50", "p99"] {
+                assert!(h.get(field).is_some(), "service_time_us.{outcome} missing {field}");
+            }
+        }
         // The whole response is wire-parseable.
         assert!(parse(&v.encode()).is_ok());
     }
@@ -936,11 +1395,88 @@ mod tests {
     #[test]
     fn unknown_verbs_and_bad_polls_are_structured_errors() {
         let s = svc(ServerConfig::default());
-        let v = s.dispatch("FROBNICATE 12");
+        let v = reply(&s, "FROBNICATE 12");
         assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
-        let v = s.dispatch("POLL notanumber");
+        let v = reply(&s, "POLL notanumber");
         assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
-        let v = s.dispatch("POLL 999");
+        let v = reply(&s, "POLL 999");
         assert!(v.get("reason").unwrap().as_str().unwrap().contains("unknown ticket"));
+    }
+
+    #[test]
+    fn synchronous_cache_hits_retain_no_ticket() {
+        let s = svc(ServerConfig::default());
+        let json = r#"{"workload":"gap.bfs","scale":"test"}"#;
+        let canonical = Request::from_value(&parse(json).unwrap())
+            .unwrap()
+            .canonical();
+        // Seed the cache directly; the submit below must hit it.
+        s.cache
+            .lock()
+            .unwrap()
+            .insert(canonical, r#"{"fake":"report"}"#.to_string());
+        for _ in 0..50 {
+            let r = submit_line(&s, json);
+            assert_eq!(r.get("status").unwrap().as_str(), Some("done"));
+            assert_eq!(r.get("cached").unwrap().as_bool(), Some(true));
+            assert!(
+                r.get("ticket").is_none(),
+                "synchronous replies are complete in hand; nothing to poll"
+            );
+        }
+        assert_eq!(s.tickets.lock().unwrap().len(), 0, "hits must not leak tickets");
+        assert_eq!(s.counters.cache_hits.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn terminal_tickets_reap_on_first_poll_and_on_ttl() {
+        let s = svc(ServerConfig {
+            workers: 1,
+            start_paused: true,
+            ..Default::default()
+        });
+        // Queue two requests, run them inline (no worker threads in
+        // unit tests), then collect one via POLL and one via the TTL.
+        let a = submit_line(&s, r#"{"workload":"gap.bfs","scale":"test"}"#);
+        let b = submit_line(&s, r#"{"workload":"gap.tc","scale":"test"}"#);
+        let (ta, tb) = (
+            a.get("ticket").unwrap().as_u64().unwrap(),
+            b.get("ticket").unwrap().as_u64().unwrap(),
+        );
+        s.execute(ta);
+        s.execute(tb);
+        assert_eq!(s.tickets.lock().unwrap().len(), 2);
+
+        // First POLL delivers and reaps; the second sees no ticket.
+        let done = reply(&s, &format!("POLL {ta}"));
+        assert_eq!(done.get("status").unwrap().as_str(), Some("done"));
+        assert!(done.get("report").is_some());
+        assert_eq!(s.tickets.lock().unwrap().len(), 1);
+        let gone = reply(&s, &format!("POLL {ta}"));
+        assert_eq!(gone.get("status").unwrap().as_str(), Some("error"));
+
+        // The uncollected terminal ticket falls to the TTL sweep.
+        s.reap_expired_tickets(Duration::ZERO);
+        assert_eq!(s.tickets.lock().unwrap().len(), 0);
+        // Its result is still served from the cache on resubmission.
+        let hit = submit_line(&s, r#"{"workload":"gap.tc","scale":"test"}"#);
+        assert_eq!(hit.get("cached").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn pending_tickets_survive_the_ttl_sweep() {
+        let s = svc(ServerConfig {
+            workers: 1,
+            start_paused: true,
+            ..Default::default()
+        });
+        let a = submit_line(&s, r#"{"workload":"gap.bfs","scale":"test"}"#);
+        assert_eq!(a.get("status").unwrap().as_str(), Some("queued"));
+        s.reap_expired_tickets(Duration::ZERO);
+        assert_eq!(
+            s.tickets.lock().unwrap().len(),
+            1,
+            "queued tickets must never be reaped"
+        );
     }
 }

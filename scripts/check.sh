@@ -48,31 +48,52 @@ for w in spec06.mcf spec17.xalancbmk gap.bfs; do
     compare "$w" --scale=test --audit >/dev/null
 done
 
-echo "== server smoke test (unix socket, submit + stats + drain) =="
+echo "== server smoke test (unix socket, pipelining + store-backed restart) =="
 SOCK="${TMPDIR:-/tmp}/tpserve-check-$$.sock"
-./target/release/tpserve --socket="$SOCK" --jobs=2 --audit >/dev/null 2>&1 &
+STORE="${TMPDIR:-/tmp}/tpserve-check-store-$$"
+rm -rf "$STORE"
+./target/release/tpserve --socket="$SOCK" --jobs=2 --audit --store="$STORE" >/dev/null 2>&1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$STORE"' EXIT
 for _ in $(seq 1 50); do
   [ -S "$SOCK" ] && break
   sleep 0.1
 done
 [ -S "$SOCK" ] || { echo "tpserve did not create $SOCK"; exit 1; }
 TPC="./target/release/tpclient unix:$SOCK"
+REQ='{"workload":"spec06.mcf","scale":"test","temporal":"streamline"}'
 $TPC ping | grep -q '"pong":true'
-$TPC submit '{"workload":"spec06.mcf","scale":"test","temporal":"streamline"}' \
-  | grep -q '"status":"done"'
-# Identical resubmission must be a cache hit.
-$TPC submit '{"workload":"spec06.mcf","scale":"test","temporal":"streamline"}' \
-  | grep -q '"cached":true'
+$TPC submit "$REQ" | grep -q '"status":"done"'
+# One pipelined connection: three identical SUBMITs written before any
+# response is read; three synchronous cache hits come back in order.
+PIPE=$($TPC pipeline "$REQ" "$REQ" "$REQ")
+[ "$(echo "$PIPE" | wc -l)" -eq 3 ] || { echo "pipeline: expected 3 responses"; exit 1; }
+[ "$(echo "$PIPE" | grep -c '"cached":true')" -eq 3 ] || {
+  echo "pipeline: expected 3 cache hits: $PIPE"; exit 1;
+}
 STATS=$($TPC stats)
 echo "$STATS" | grep -q '"simulations":1'
-echo "$STATS" | grep -q '"cache_hits":1'
+echo "$STATS" | grep -q '"cache_hits":3'
 # Malformed requests are structured errors, not crashes.
 $TPC submit '{"workload":"no.such"}' | grep -q '"status":"error"'
 $TPC shutdown | grep -q '"status":"ok"'
 wait "$SERVER_PID"
+[ ! -e "$SOCK" ] || { echo "tpserve left its socket behind"; exit 1; }
+# Warm restart over the same store directory: the request served above
+# must come back as a cache hit with zero simulations.
+./target/release/tpserve --socket="$SOCK" --jobs=2 --audit --store="$STORE" >/dev/null 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "tpserve did not restart on $SOCK"; exit 1; }
+$TPC submit "$REQ" | grep -q '"cached":true'
+$TPC stats | grep -q '"simulations":0'
+$TPC shutdown | grep -q '"status":"ok"'
+wait "$SERVER_PID"
 trap - EXIT
+rm -rf "$STORE"
 [ ! -e "$SOCK" ] || { echo "tpserve left its socket behind"; exit 1; }
 
 echo "check.sh: all gates passed"

@@ -1,7 +1,8 @@
 //! End-to-end tests for the `tpserve` simulation service: protocol
 //! round-trips over real sockets, byte-identical reports vs direct
-//! sweep-runner execution, load shedding, deadline cancellation, and
-//! graceful drain.
+//! sweep-runner execution, pipelined submissions, persistent-store
+//! warm restarts, ticket-table bounds, load shedding, deadline
+//! cancellation, and graceful drain.
 
 use std::thread;
 use tpharness::baselines::{L1Kind, TemporalKind};
@@ -96,7 +97,155 @@ fn served_reports_are_byte_identical_and_cache_hits_skip_simulation() {
         "a cache hit must not simulate"
     );
     assert!(stats.get("cache_hits").unwrap().as_u64().unwrap() >= 1);
-    assert!(stats.get("service_time_us").unwrap().get("p50").is_some());
+    // Service times are split by outcome so hits don't drown the
+    // simulation latencies (and vice versa).
+    let st = stats.get("service_time_us").unwrap();
+    assert!(st.get("hit").unwrap().get("p50").is_some());
+    assert!(st.get("simulated").unwrap().get("p50").is_some());
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    h.handle.join().unwrap();
+}
+
+#[test]
+fn pipelined_submits_answer_in_request_order() {
+    let h = start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&h.addr).expect("connect");
+
+    // Four SUBMITs (one a duplicate) written before any response is
+    // read; the event loop must answer them in request order on this
+    // connection even though workers finish out of order.
+    let payloads: Vec<Value> = ["gap.bfs", "gap.tc", "gap.pr", "gap.bfs"]
+        .iter()
+        .map(|wl| req(&format!(r#"{{"workload":"{wl}","scale":"test"}}"#)))
+        .collect();
+    let keys: Vec<String> = payloads
+        .iter()
+        .map(|p| {
+            format!(
+                "{:016x}",
+                tpserve::Request::from_value(p).expect("payload parses").key()
+            )
+        })
+        .collect();
+    let resps = c.pipeline(&payloads).expect("pipelined batch");
+    assert_eq!(resps.len(), payloads.len());
+    for (i, resp) in resps.iter().enumerate() {
+        assert!(
+            matches!(status(resp), "queued" | "done"),
+            "response {i}: {}",
+            resp.encode()
+        );
+        assert_eq!(
+            resp.get("key").unwrap().as_str(),
+            Some(keys[i].as_str()),
+            "response {i} answers the wrong request (order violated)"
+        );
+    }
+    // Every queued ticket still completes.
+    for resp in &resps {
+        if status(resp) == "queued" {
+            let t = resp.get("ticket").unwrap().as_u64().unwrap();
+            let done = c.wait(t).unwrap();
+            assert_eq!(status(&done), "done", "{}", done.encode());
+        }
+    }
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    h.handle.join().unwrap();
+}
+
+#[test]
+fn warm_restart_serves_cached_reports_from_the_store() {
+    let dir = std::env::temp_dir().join(format!("tpserve-it-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let payload = req(r#"{"workload":"gap.bfs","scale":"test","temporal":"streamline"}"#);
+
+    // First server: simulate once, persisting the result to the store.
+    let report = {
+        let h = start(ServerConfig {
+            workers: 1,
+            store_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        let mut c = Client::connect(&h.addr).expect("connect");
+        let resp = c.submit_and_wait(&payload).unwrap();
+        assert_eq!(status(&resp), "done", "{}", resp.encode());
+        let report = resp.get("report").unwrap().encode();
+        assert_eq!(status(&c.shutdown().unwrap()), "ok");
+        drop(c);
+        h.handle.join().unwrap();
+        report
+    };
+
+    // Second server over the same directory: the request is answered
+    // synchronously from disk — byte-identical, zero simulations.
+    let h = start(ServerConfig {
+        workers: 1,
+        store_dir: Some(dir.clone()),
+        ..Default::default()
+    });
+    let mut c = Client::connect(&h.addr).expect("connect");
+    let resp = c.submit_and_wait(&payload).unwrap();
+    assert_eq!(status(&resp), "done", "{}", resp.encode());
+    assert_eq!(resp.get("cached").unwrap().as_bool(), Some(true));
+    assert!(
+        resp.get("ticket").is_none(),
+        "synchronous hits carry no ticket: {}",
+        resp.encode()
+    );
+    assert_eq!(
+        resp.get("report").unwrap().encode(),
+        report,
+        "restarted server must serve byte-identical bytes from the store"
+    );
+    let stats = c.stats().unwrap();
+    let stats = stats.get("stats").unwrap();
+    assert_eq!(
+        stats.get("simulations").unwrap().as_u64(),
+        Some(0),
+        "warm restart must not simulate"
+    );
+    assert!(stats.get("store_hits").unwrap().as_u64().unwrap() >= 1);
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    h.handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ticket_table_stays_bounded_across_submit_poll_cycles() {
+    let h = start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let mut c = Client::connect(&h.addr).expect("connect");
+
+    // Distinct seeds force the queue path (each canonical is new);
+    // repeat rounds are synchronous cache hits that create no tickets.
+    // Historically every one of these leaked a ticket-table entry.
+    for _round in 0..3 {
+        for seed in 1..=8 {
+            let resp = c
+                .submit_and_wait(&req(&format!(
+                    r#"{{"workload":"gap.bfs","scale":"test","seed":{seed}}}"#
+                )))
+                .unwrap();
+            assert_eq!(status(&resp), "done", "{}", resp.encode());
+        }
+    }
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats.get("stats").unwrap().get("tickets").unwrap().as_u64(),
+        Some(0),
+        "terminal tickets must be reaped after their delivering POLL"
+    );
 
     assert_eq!(status(&c.shutdown().unwrap()), "ok");
     drop(c);
