@@ -13,13 +13,26 @@
 
 use crate::{audit_from_args, runner};
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use tpharness::baselines::TemporalKind;
 use tpharness::experiment::Experiment;
-use tpharness::sweep::SweepJob;
+use tpharness::sweep::{reassemble, SweepJob};
 use tpharness::wire::{decode_sim_report, Value};
 use tpserve::Client;
 use tpsim::SimReport;
 use tptrace::workloads;
+
+/// Process-wide count of jobs that fell back to local execution while
+/// server routing was active (inexpressible, rejected, or failed by
+/// the server). Visible so harnesses can assert the fallback fired —
+/// the path used to be observable only as an stderr note.
+static LOCAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Jobs that fell back to local execution across every
+/// [`run_via_server`] call in this process.
+pub fn local_fallbacks() -> u64 {
+    LOCAL_FALLBACKS.load(Ordering::Relaxed)
+}
 
 /// The server address from `TPSIM_SERVER`, if routing is enabled.
 /// Empty, `0`, and `off` all mean disabled.
@@ -140,9 +153,12 @@ pub fn run_via_server(addr: &str, jobs: &[SweepJob]) -> io::Result<Vec<SimReport
         slots.push(slot);
     }
 
-    let mut out: Vec<SimReport> = Vec::with_capacity(jobs.len());
+    // Collect as (index, report) pairs and reassemble through the same
+    // canonical-order primitive SweepRunner::map uses, so server-routed
+    // sweeps share the lost/duplicated-job invariant with local ones.
+    let mut indexed: Vec<(usize, SimReport)> = Vec::with_capacity(jobs.len());
     let mut local = 0usize;
-    for (job, slot) in jobs.iter().zip(slots) {
+    for (i, (job, slot)) in jobs.iter().zip(slots).enumerate() {
         let report = match slot {
             Slot::Done(r) => *r,
             Slot::Ticket(t) => {
@@ -155,6 +171,9 @@ pub fn run_via_server(addr: &str, jobs: &[SweepJob]) -> io::Result<Vec<SimReport
                             runner().run_one(job.clone())
                         }
                     },
+                    // The server accepted the job but it terminated
+                    // without a report (failed, deadline-exceeded,
+                    // evicted): per-job local fallback.
                     _ => {
                         local += 1;
                         runner().run_one(job.clone())
@@ -166,12 +185,13 @@ pub fn run_via_server(addr: &str, jobs: &[SweepJob]) -> io::Result<Vec<SimReport
                 runner().run_one(job.clone())
             }
         };
-        out.push(report);
+        indexed.push((i, report));
     }
     if local > 0 {
+        LOCAL_FALLBACKS.fetch_add(local as u64, Ordering::Relaxed);
         eprintln!("  tpserve routing: {local}/{} job(s) ran locally", jobs.len());
     }
-    Ok(out)
+    Ok(reassemble(indexed, jobs.len()))
 }
 
 #[cfg(test)]
@@ -214,6 +234,52 @@ mod tests {
         let p = payload(&SweepJob::mix(mix, stride_baseline(Scale::Test))).unwrap();
         assert_eq!(p.get("mix").unwrap().as_arr().unwrap().len(), 2);
         assert_eq!(p.get("mix_index").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn accepted_then_failed_jobs_fall_back_locally_and_count() {
+        use std::io::{BufRead, BufReader, Write};
+
+        // A server that accepts every SUBMIT, then fails the job at
+        // POLL time — the regression this pins: the per-job fallback
+        // must run locally, return a byte-identical report, and bump
+        // the visible counter.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut stream = stream;
+            let mut line = String::new();
+            while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                let resp = if line.starts_with("SUBMIT") {
+                    r#"{"status":"queued","ticket":1,"key":"0","queue_depth":1}"#
+                } else {
+                    r#"{"status":"failed","ticket":1,"reason":"injected failure"}"#
+                };
+                stream.write_all(resp.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                line.clear();
+            }
+        });
+
+        let w = workloads::by_name("gap.bfs").unwrap();
+        let job = SweepJob::single(w, stride_baseline(Scale::Test));
+        let before = local_fallbacks();
+        let got = run_via_server(&addr, std::slice::from_ref(&job)).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            local_fallbacks() - before,
+            1,
+            "the fallback must increment the visible counter"
+        );
+        let direct = runner().run_one(job);
+        assert_eq!(
+            tpharness::wire::encode_sim_report(&got[0]),
+            tpharness::wire::encode_sim_report(&direct),
+            "fallback reports must be byte-identical to local runs"
+        );
+        server.join().unwrap();
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! tpclient ADDR stats
 //! tpclient ADDR submit '{"workload":"gap.bfs","scale":"test"}' [--no-wait]
 //! tpclient ADDR pipeline JSON [JSON...]
+//! tpclient ADDR sweep JSON [JSON...] [--local-check]
 //! tpclient ADDR poll TICKET
 //! tpclient ADDR shutdown
 //! tpclient ADDR bench [JSON] [--clients=N] [--pipeline=M]
@@ -13,7 +14,12 @@
 //! `ADDR` is `host:port` or `unix:PATH`. Every command prints the
 //! server's JSON response on stdout; `pipeline` writes all its SUBMITs
 //! before reading anything back and prints one response line per
-//! payload (in request order). `bench` measures cold vs cache-hit
+//! payload (in request order). `sweep` pipelines the payloads, waits
+//! every ticket to a terminal state, and prints a one-line summary;
+//! with `--local-check` it also re-runs each job locally and exits
+//! nonzero unless every served report is byte-identical to the local
+//! run (the gate `scripts/bench_fleet.sh` and the fleet smoke test in
+//! `scripts/check.sh` stand on). `bench` measures cold vs cache-hit
 //! service latency for one request (default: a test-scale Streamline
 //! run), then drives a concurrent phase — `N` client threads, each on
 //! its own connection, each pipelining `M` identical submits — and
@@ -26,7 +32,8 @@ use tpserve::Client;
 fn usage() -> ! {
     eprintln!(
         "usage: tpclient ADDR ping|stats|shutdown|poll TICKET|submit JSON [--no-wait]\n\
-         \x20      |pipeline JSON [JSON...]|bench [JSON] [--clients=N] [--pipeline=M]"
+         \x20      |pipeline JSON [JSON...]|sweep JSON [JSON...] [--local-check]\n\
+         \x20      |bench [JSON] [--clients=N] [--pipeline=M]"
     );
     std::process::exit(2);
 }
@@ -114,6 +121,66 @@ fn concurrent_phase(addr: &str, payload: &Value, clients: u32, pipeline: u32) ->
         ("p50_us".into(), Value::u64(percentile(&lat, 50))),
         ("p99_us".into(), Value::u64(percentile(&lat, 99))),
     ])
+}
+
+/// Runs one payload locally, exactly as a server worker would:
+/// through the shared sweep path, or the seed-override path for
+/// requests that bypass the seed-blind cache.
+fn run_locally(payload: &Value) -> tpsim::SimReport {
+    use tpharness::experiment::run_single;
+    use tpharness::sweep::SweepRunner;
+    use tpserve::protocol::{Request, Target};
+
+    let req = Request::from_value(payload)
+        .unwrap_or_else(|e| fail(&format!("--local-check: invalid request: {e}")));
+    match req.sweep_job() {
+        Some(job) => SweepRunner::serial().run_one(job),
+        None => {
+            let seed = req.seed.expect("jobless requests carry a seed");
+            match &req.target {
+                Target::Single(w) => run_single(&w.with_seed(seed), &req.experiment()),
+                Target::MixOf { .. } => unreachable!("validation rejects seeded mixes"),
+            }
+        }
+    }
+}
+
+/// `sweep`: pipelined submits, every ticket waited to a terminal
+/// state, one summary line. With `local_check`, each served report is
+/// byte-compared against a local run of the same request.
+fn sweep(client: &mut Client, payloads: &[Value], local_check: bool) {
+    let t0 = Instant::now();
+    let served = client
+        .submit_sweep(payloads)
+        .unwrap_or_else(|e| fail(&format!("sweep failed: {e}")));
+    let total_us = t0.elapsed().as_micros() as u64;
+    let mut identical = true;
+    for (payload, resp) in payloads.iter().zip(&served) {
+        if resp.get("status").and_then(Value::as_str) != Some("done") {
+            fail(&format!("sweep job did not complete: {}", resp.encode()));
+        }
+        if local_check {
+            let remote = resp
+                .get("report")
+                .unwrap_or_else(|| fail("done response without a report"))
+                .encode();
+            let local = tpharness::wire::encode_sim_report(&run_locally(payload));
+            if remote != local {
+                identical = false;
+                eprintln!("tpclient: sweep divergence for {}", payload.encode());
+            }
+        }
+    }
+    let out = Value::Obj(vec![
+        ("jobs".into(), Value::u64(payloads.len() as u64)),
+        ("total_us".into(), Value::u64(total_us)),
+        ("local_check".into(), Value::Bool(local_check)),
+        ("identical".into(), Value::Bool(identical)),
+    ]);
+    println!("{}", out.encode());
+    if !identical {
+        std::process::exit(1);
+    }
 }
 
 fn bench(addr: &str, client: &mut Client, payload: &Value, clients: u32, pipeline: u32) {
@@ -211,6 +278,18 @@ fn main() {
             for r in resps {
                 print(r);
             }
+        }
+        "sweep" => {
+            let local_check = args.iter().any(|a| a == "--local-check");
+            let payloads: Vec<Value> = args[2..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(|j| parse(j).unwrap_or_else(|e| fail(&format!("bad request payload: {e}"))))
+                .collect();
+            if payloads.is_empty() {
+                usage();
+            }
+            sweep(&mut client, &payloads, local_check);
         }
         "bench" => {
             let mut clients = DEFAULT_CLIENTS;

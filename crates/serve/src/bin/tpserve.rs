@@ -3,6 +3,8 @@
 //! ```text
 //! tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N]
 //!         [--audit] [--store=DIR] [--store-cap-mb=N]
+//! tpserve --coordinator --backend=ADDR [--backend=ADDR ...]
+//!         [--listen=... | --socket=...] [--queue=N] [--audit]
 //! ```
 //!
 //! Prints `tpserve: listening on ADDR` once ready (scripts parse this
@@ -16,10 +18,16 @@
 //! and a restarted server on the same directory answers previously
 //! served requests without simulating. `--store-cap-mb` bounds the
 //! directory; least-recently-used entries are reclaimed past the cap.
+//!
+//! `--coordinator` runs the fleet coordinator instead: jobs are
+//! consistent-hashed onto the `--backend=` tpserve instances (each
+//! flag may repeat; `unix:PATH` or TCP `host:port`), with reroute on
+//! backend failure and local execution as the last resort. The
+//! client-facing protocol is identical, so clients need no changes.
 
 use std::io::Write;
 use std::sync::atomic::AtomicBool;
-use tpserve::{Server, ServerConfig, DEFAULT_QUEUE_CAPACITY};
+use tpserve::{Coordinator, CoordinatorConfig, Server, ServerConfig, DEFAULT_QUEUE_CAPACITY};
 
 static TERM: AtomicBool = AtomicBool::new(false);
 
@@ -52,13 +60,17 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: tpserve [--listen=HOST:PORT | --socket=PATH] [--jobs=N] [--queue=N] \
-         [--audit] [--store=DIR] [--store-cap-mb=N]"
+         [--audit] [--store=DIR] [--store-cap-mb=N]\n\
+         \x20      tpserve --coordinator --backend=ADDR [--backend=ADDR ...] \
+         [--listen=... | --socket=...] [--queue=N] [--audit]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut spec = String::from("127.0.0.1:0");
+    let mut coordinator = false;
+    let mut backends: Vec<String> = Vec::new();
     let mut cfg = ServerConfig {
         workers: tpharness::jobs::worker_count(tpharness::jobs::jobs_flag()),
         queue_capacity: DEFAULT_QUEUE_CAPACITY,
@@ -87,15 +99,50 @@ fn main() {
                 * 1024;
         } else if arg == "--audit" {
             cfg.audit = true;
+        } else if arg == "--coordinator" {
+            coordinator = true;
+        } else if let Some(v) = arg.strip_prefix("--backend=") {
+            backends.push(v.to_string());
         } else if arg.starts_with("--jobs=") {
             // Parsed by tpharness::jobs::jobs_flag above.
         } else {
             usage();
         }
     }
+    if !backends.is_empty() && !coordinator {
+        eprintln!("tpserve: --backend requires --coordinator");
+        usage();
+    }
+    if coordinator && cfg.store_dir.is_some() {
+        eprintln!("tpserve: --store applies to backends, not the coordinator");
+        usage();
+    }
 
     #[cfg(unix)]
     sig::install();
+
+    if coordinator {
+        let ccfg = CoordinatorConfig {
+            max_jobs: cfg.queue_capacity,
+            audit: cfg.audit,
+            ..Default::default()
+        };
+        let coord = match Coordinator::bind(&spec, &backends, ccfg) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("tpserve: cannot bind {spec}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("tpserve: listening on {}", coord.addr());
+        let _ = std::io::stdout().flush();
+        if let Err(e) = coord.run_until(&TERM) {
+            eprintln!("tpserve: accept loop failed: {e}");
+            std::process::exit(1);
+        }
+        println!("tpserve: drained, exiting");
+        return;
+    }
 
     let server = match Server::bind(&spec, cfg) {
         Ok(s) => s,

@@ -145,6 +145,32 @@ impl Client {
         Ok(out)
     }
 
+    /// A whole sweep in one call: pipelines every `SUBMIT`, then waits
+    /// each queued ticket to a terminal state. Returns one terminal
+    /// response per payload, in request order — the client-side mirror
+    /// of `SweepRunner`'s canonical reassembly, and the path `tpclient
+    /// sweep` and the fleet smoke tests drive.
+    ///
+    /// # Errors
+    /// See [`Client::request`].
+    pub fn submit_sweep(&mut self, payloads: &[Value]) -> io::Result<Vec<Value>> {
+        let submitted = self.pipeline(payloads)?;
+        let mut out = Vec::with_capacity(submitted.len());
+        for resp in submitted {
+            match resp.get("status").and_then(Value::as_str) {
+                Some("queued") => {
+                    let ticket = resp
+                        .get("ticket")
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| data_err("queued response without a ticket"))?;
+                    out.push(self.wait(ticket)?);
+                }
+                _ => out.push(resp),
+            }
+        }
+        Ok(out)
+    }
+
     /// `POLL` one ticket.
     ///
     /// # Errors

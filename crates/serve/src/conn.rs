@@ -1,17 +1,20 @@
 //! A tiny stream abstraction (TCP or Unix-domain) shared by server,
-//! client, and tests — plus the per-connection state machine the
-//! event-driven server runs: nonblocking read/write buffers and a
-//! newline-delimited line splitter with the protocol's byte cap
-//! enforced while buffering.
+//! coordinator, client, and tests — plus the per-connection state
+//! machine the event-driven loops run: nonblocking read/write buffers
+//! and a newline-delimited line splitter with the protocol's byte cap
+//! enforced while buffering, and the listener wrapper both loops
+//! accept through.
 
 use crate::protocol::MAX_LINE_BYTES;
+use crate::readiness;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::fd::{AsRawFd, RawFd};
 #[cfg(unix)]
-use std::os::unix::net::UnixStream;
-use std::time::Instant;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// A connected byte stream (TCP or Unix-domain).
 pub(crate) enum Conn {
@@ -39,6 +42,27 @@ impl Conn {
             }
         }
         Ok(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Connects like [`Conn::connect`], but bounds how long a TCP
+    /// connection attempt may block — the coordinator's event loop
+    /// calls this when (re)establishing backend links, so a black-holed
+    /// backend address costs at most `timeout`, not a kernel default.
+    /// Unix-domain connects either succeed or fail immediately.
+    pub(crate) fn connect_timeout(addr: &str, timeout: Duration) -> io::Result<Conn> {
+        if addr.starts_with("unix:") {
+            return Conn::connect(addr);
+        }
+        let mut last = None;
+        for sa in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, timeout) {
+                Ok(s) => return Ok(Conn::Tcp(s)),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, format!("no addresses for {addr}"))
+        }))
     }
 
     pub(crate) fn try_clone(&self) -> io::Result<Conn> {
@@ -92,6 +116,98 @@ impl Write for Conn {
             #[cfg(unix)]
             Conn::Unix(s) => s.flush(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listeners
+// ---------------------------------------------------------------------
+
+/// A bound listening socket (TCP or Unix-domain), accepted through by
+/// the server and coordinator event loops.
+pub(crate) enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix {
+        listener: UnixListener,
+        path: PathBuf,
+    },
+}
+
+impl ListenerKind {
+    /// Binds to `spec`: `unix:PATH` for a Unix-domain socket, otherwise
+    /// a TCP `host:port` (port `0` picks a free port). Returns the
+    /// listener plus its resolved, connectable address.
+    pub(crate) fn bind(spec: &str) -> io::Result<(ListenerKind, String)> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let pb = PathBuf::from(path);
+                // A stale socket file from a dead server blocks rebinding.
+                let _ = std::fs::remove_file(&pb);
+                let listener = UnixListener::bind(&pb)?;
+                return Ok((
+                    ListenerKind::Unix { listener, path: pb },
+                    format!("unix:{path}"),
+                ));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform",
+                ));
+            }
+        }
+        let listener = TcpListener::bind(spec)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok((ListenerKind::Tcp(listener), addr))
+    }
+
+    pub(crate) fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            ListenerKind::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            ListenerKind::Unix { listener, .. } => listener.set_nonblocking(true),
+        }
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn token(&self) -> readiness::Token {
+        match self {
+            ListenerKind::Tcp(l) => l.as_raw_fd(),
+            ListenerKind::Unix { listener, .. } => listener.as_raw_fd(),
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn token(&self) -> readiness::Token {}
+
+    /// Removes the Unix socket file, if any (called on loop exit).
+    pub(crate) fn cleanup(&self) {
+        #[cfg(unix)]
+        if let ListenerKind::Unix { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Accepts one pending connection, or `None` on `WouldBlock`.
+    pub(crate) fn accept(&self) -> io::Result<Option<Conn>> {
+        let conn = match self {
+            ListenerKind::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Conn::Tcp(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+            #[cfg(unix)]
+            ListenerKind::Unix { listener, .. } => match listener.accept() {
+                Ok((s, _)) => Conn::Unix(s),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(Some(conn))
     }
 }
 
@@ -162,6 +278,15 @@ impl ConnState {
     pub(crate) fn raw_fd(&self) -> RawFd {
         self.conn.raw_fd()
     }
+
+    /// Readiness token for the event loop's poll set.
+    #[cfg(unix)]
+    pub(crate) fn token(&self) -> readiness::Token {
+        self.raw_fd()
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn token(&self) -> readiness::Token {}
 
     /// Reads until `WouldBlock`/EOF, appending to the input buffer.
     ///

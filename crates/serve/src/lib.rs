@@ -61,15 +61,20 @@
 //! ```
 
 mod conn;
+mod readiness;
 
 pub mod client;
+pub mod coordinator;
 pub mod hist;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod store;
 
 pub use client::Client;
+pub use coordinator::{CoordController, Coordinator, CoordinatorConfig};
 pub use hist::LogHistogram;
 pub use protocol::{Request, MAX_LINE_BYTES};
+pub use ring::HashRing;
 pub use server::{Controller, Server, ServerConfig, DEFAULT_QUEUE_CAPACITY};
 pub use store::{ResultStore, StoreStats, DEFAULT_STORE_CAP_BYTES};

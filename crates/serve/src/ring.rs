@@ -1,0 +1,162 @@
+//! Consistent-hash ring for the coordinator's job→backend routing.
+//!
+//! Each backend contributes [`VNODES`] points on a 64-bit ring; a job
+//! is assigned to the backend owning the first point at or after the
+//! job's hash (wrapping). Two properties the fleet depends on fall out
+//! of this construction:
+//!
+//! * **Shard affinity.** A job's canonical request encoding always
+//!   hashes to the same point, so each backend's `TracePool` and
+//!   result store stay hot for a stable shard of the request space.
+//! * **Bounded churn.** Adding or removing one backend only remaps the
+//!   jobs that land on (or leave) that backend's points; every other
+//!   assignment is untouched. The property suite pins this.
+//!
+//! Everything is a pure function of the backend address list — no
+//! process entropy, no wall clock — so a restarted coordinator over
+//! the same `--backend=` flags reproduces the identical assignment
+//! (also pinned by the property suite).
+
+use tpharness::wire::fnv1a;
+use tptrace::rng::splitmix64;
+
+/// Virtual nodes per backend: enough to spread shards evenly across a
+/// handful of backends without making ring construction noticeable.
+pub const VNODES: usize = 64;
+
+/// Finalizes an FNV-1a hash through splitmix64 so nearby inputs
+/// (`addr#0`, `addr#1`, ...) land far apart on the ring.
+fn spread(h: u64) -> u64 {
+    let mut s = h;
+    splitmix64(&mut s)
+}
+
+/// A consistent-hash ring over backend addresses (see module docs).
+pub struct HashRing {
+    backends: Vec<String>,
+    /// `(point, backend index)`, sorted by point with the backend
+    /// address as tie-break so the order never depends on list
+    /// position (which shifts when a backend is removed).
+    ring: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring for `backends` (addresses as given; the ring
+    /// neither resolves nor normalizes them).
+    pub fn new<S: AsRef<str>>(backends: &[S]) -> HashRing {
+        let backends: Vec<String> = backends.iter().map(|s| s.as_ref().to_string()).collect();
+        let mut ring = Vec::with_capacity(backends.len() * VNODES);
+        for (i, addr) in backends.iter().enumerate() {
+            for v in 0..VNODES {
+                let point = spread(fnv1a(format!("{addr}#{v}").as_bytes()));
+                ring.push((point, i));
+            }
+        }
+        ring.sort_by(|&(pa, ia), &(pb, ib)| {
+            pa.cmp(&pb).then_with(|| backends[ia].cmp(&backends[ib]))
+        });
+        HashRing { backends, ring }
+    }
+
+    /// Number of backends on the ring.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True when the ring has no backends (every job runs locally).
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// The backend address for index `i` (panics out of range).
+    pub fn addr(&self, i: usize) -> &str {
+        &self.backends[i]
+    }
+
+    /// The ring point for a job, derived from its canonical request
+    /// encoding — the same string the response caches key on, so equal
+    /// requests always route identically.
+    pub fn job_point(canonical: &str) -> u64 {
+        spread(fnv1a(canonical.as_bytes()))
+    }
+
+    /// The primary backend index for `point`: owner of the first ring
+    /// point at or after it, wrapping past the top. `None` on an empty
+    /// ring.
+    pub fn assign(&self, point: u64) -> Option<usize> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let i = self.ring.partition_point(|&(p, _)| p < point);
+        Some(self.ring[i % self.ring.len()].1)
+    }
+
+    /// Every distinct backend in ring order starting at the primary —
+    /// the failover sequence: when `candidates(p)[0]` is down, the job
+    /// reroutes to `[1]`, then `[2]`, ... and finally to local
+    /// execution once the list is exhausted.
+    pub fn candidates(&self, point: u64) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.backends.len());
+        if self.ring.is_empty() {
+            return out;
+        }
+        let start = self.ring.partition_point(|&(p, _)| p < point);
+        let mut seen = vec![false; self.backends.len()];
+        for k in 0..self.ring.len() {
+            let (_, b) = self.ring[(start + k) % self.ring.len()];
+            if !seen[b] {
+                seen[b] = true;
+                out.push(b);
+                if out.len() == self.backends.len() {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7000")).collect()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_covers_all_backends() {
+        let a = HashRing::new(&addrs(3));
+        let b = HashRing::new(&addrs(3));
+        let mut hit = [false; 3];
+        for i in 0..512u64 {
+            let p = HashRing::job_point(&format!("job-{i}"));
+            let x = a.assign(p).unwrap();
+            assert_eq!(Some(x), b.assign(p), "same ring input, same assignment");
+            hit[x] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "512 jobs must touch all 3 backends");
+    }
+
+    #[test]
+    fn candidates_start_at_primary_and_cover_each_backend_once() {
+        let r = HashRing::new(&addrs(4));
+        for i in 0..64u64 {
+            let p = HashRing::job_point(&format!("job-{i}"));
+            let c = r.candidates(p);
+            assert_eq!(c.len(), 4);
+            assert_eq!(c[0], r.assign(p).unwrap());
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "each backend exactly once");
+        }
+    }
+
+    #[test]
+    fn empty_ring_assigns_nothing() {
+        let r = HashRing::new::<&str>(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.assign(42), None);
+        assert!(r.candidates(42).is_empty());
+    }
+}

@@ -58,17 +58,13 @@
 //! finishes — a shutdown response in hand still means every accepted
 //! request has completed.
 
-use crate::conn::{Conn, ConnState, FillOutcome};
+use crate::conn::{ConnState, FillOutcome, ListenerKind};
 use crate::hist::LogHistogram;
 use crate::protocol::Request;
+use crate::readiness;
 use crate::store::{ResultStore, StoreStats, DEFAULT_STORE_CAP_BYTES};
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::TcpListener;
-#[cfg(unix)]
-use std::os::fd::AsRawFd;
-#[cfg(unix)]
-use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -99,7 +95,7 @@ const TICKET_TTL: Duration = Duration::from_secs(60);
 /// Per-connection unsent-output soft cap. Past it the loop stops
 /// parsing that connection's input (backpressure) until the peer
 /// drains what it already owes.
-const WRITE_BACKPRESSURE_BYTES: usize = 4 * 1024 * 1024;
+pub(crate) const WRITE_BACKPRESSURE_BYTES: usize = 4 * 1024 * 1024;
 
 /// Server construction knobs.
 #[derive(Clone, Debug)]
@@ -205,15 +201,56 @@ pub(crate) enum Dispatch {
     Shutdown,
 }
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+/// What an event loop needs from its service to drive client
+/// connections: line dispatch plus the drain trigger. Implemented by
+/// the worker-pool [`Service`] here and by the coordinator's shared
+/// state, so both loops run the same [`EventConn`] state machine.
+pub(crate) trait Dispatcher {
+    /// Handles one protocol line.
+    fn dispatch_line(&self, line: &str) -> Dispatch;
+    /// A `SHUTDOWN` line arrived: begin the graceful drain.
+    fn begin_drain(&self);
+}
+
+pub(crate) fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-fn status_err(reason: impl Into<String>) -> Value {
+pub(crate) fn status_err(reason: impl Into<String>) -> Value {
     obj(vec![
         ("status", Value::Str("error".into())),
         ("reason", Value::Str(reason.into())),
     ])
+}
+
+/// The short display key clients see: FNV-1a of the canonical string.
+pub(crate) fn key_hex(canonical: &str) -> String {
+    format!("{:016x}", wire::fnv1a(canonical.as_bytes()))
+}
+
+/// Embeds an already-encoded report into a response object without
+/// losing its canonical bytes (parse → Value keeps literals intact).
+pub(crate) fn report_value(encoded: &str) -> Value {
+    wire::parse(encoded).unwrap_or_else(|_| Value::Str(encoded.to_string()))
+}
+
+/// A `done` response. `ticket` is `None` for synchronous cache-hit
+/// replies: they are complete in hand, so there is nothing to poll and
+/// no ticket is retained for them.
+pub(crate) fn done_response(
+    ticket: Option<u64>,
+    canonical: &str,
+    cached: bool,
+    encoded: &str,
+) -> Value {
+    let mut fields = vec![("status", Value::Str("done".into()))];
+    if let Some(id) = ticket {
+        fields.push(("ticket", Value::u64(id)));
+    }
+    fields.push(("key", Value::Str(key_hex(canonical))));
+    fields.push(("cached", Value::Bool(cached)));
+    fields.push(("report", report_value(encoded)));
+    obj(fields)
 }
 
 impl Service {
@@ -262,36 +299,6 @@ impl Service {
             accept_stop: AtomicBool::new(false),
             started: Instant::now(),
         }))
-    }
-
-    fn key_hex(canonical: &str) -> String {
-        format!("{:016x}", wire::fnv1a(canonical.as_bytes()))
-    }
-
-    /// Embeds an already-encoded report into a response object without
-    /// losing its canonical bytes (parse → Value keeps literals intact).
-    fn report_value(encoded: &str) -> Value {
-        wire::parse(encoded).unwrap_or_else(|_| Value::Str(encoded.to_string()))
-    }
-
-    /// `ticket` is `None` for synchronous cache-hit replies: they are
-    /// complete in hand, so there is nothing to poll and no ticket is
-    /// retained for them.
-    fn done_response(
-        &self,
-        ticket: Option<u64>,
-        canonical: &str,
-        cached: bool,
-        encoded: &str,
-    ) -> Value {
-        let mut fields = vec![("status", Value::Str("done".into()))];
-        if let Some(id) = ticket {
-            fields.push(("ticket", Value::u64(id)));
-        }
-        fields.push(("key", Value::Str(Self::key_hex(canonical))));
-        fields.push(("cached", Value::Bool(cached)));
-        fields.push(("report", Self::report_value(encoded)));
-        obj(fields)
     }
 
     fn record_time(hist: &Mutex<LogHistogram>, accepted: Instant) {
@@ -347,7 +354,7 @@ impl Service {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             self.counters.served.fetch_add(1, Ordering::Relaxed);
             Self::record_time(&self.hit_hist, accepted);
-            return self.done_response(None, &canonical, true, &hit);
+            return done_response(None, &canonical, true, &hit);
         }
 
         let deadline = request
@@ -392,7 +399,7 @@ impl Service {
         obj(vec![
             ("status", Value::Str("queued".into())),
             ("ticket", Value::u64(id)),
-            ("key", Value::Str(Self::key_hex(&canonical))),
+            ("key", Value::Str(key_hex(&canonical))),
             ("queue_depth", Value::u64(depth as u64)),
         ])
     }
@@ -431,7 +438,7 @@ impl Service {
                 tickets.remove(&id);
                 drop(tickets);
                 match self.lookup_cached(&canonical) {
-                    Some(encoded) => self.done_response(Some(id), &canonical, cached, &encoded),
+                    Some(encoded) => done_response(Some(id), &canonical, cached, &encoded),
                     // Only reachable if the byte cap evicted the result
                     // between completion and this poll.
                     None => status_err(format!(
@@ -774,178 +781,48 @@ impl Service {
     }
 }
 
-// ---------------------------------------------------------------------
-// Readiness polling
-// ---------------------------------------------------------------------
-
-/// Raw-fd readiness polling for the event loop: `poll(2)` on Unix.
-#[cfg(unix)]
-mod readiness {
-    use std::os::fd::RawFd;
-    use std::time::Duration;
-
-    #[repr(C)]
-    struct PollFd {
-        fd: i32,
-        events: i16,
-        revents: i16,
+impl Dispatcher for Service {
+    fn dispatch_line(&self, line: &str) -> Dispatch {
+        self.dispatch(line)
     }
 
-    // std links libc on every supported Unix; declaring `poll`
-    // directly keeps the workspace dependency-free (same idiom as the
-    // `signal` declaration in the tpserve binary).
-    extern "C" {
-        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout_ms: i32) -> i32;
-    }
-
-    const POLLIN: i16 = 0x001;
-    const POLLOUT: i16 = 0x004;
-    const POLLERR: i16 = 0x008;
-    const POLLHUP: i16 = 0x010;
-
-    /// What the loop wants to know about one fd.
-    #[derive(Clone, Copy, Default)]
-    pub struct Interest {
-        pub read: bool,
-        pub write: bool,
-    }
-
-    /// What the kernel reported. Only read-readiness is surfaced:
-    /// the loop flushes any pending output every tick regardless, so
-    /// write interest exists purely to wake the poll when a
-    /// previously-full socket drains. Errors/hangups surface as
-    /// read-readiness so the next nonblocking op observes the failure.
-    #[derive(Clone, Copy, Default)]
-    pub struct Ready {
-        pub read: bool,
-    }
-
-    pub type Token = RawFd;
-
-    /// Blocks until any interested fd is ready or `timeout` elapses.
-    pub fn wait(entries: &[(Token, Interest)], timeout: Duration) -> Vec<Ready> {
-        let mut fds: Vec<PollFd> = entries
-            .iter()
-            .map(|&(fd, i)| PollFd {
-                fd,
-                events: if i.read { POLLIN } else { 0 } | if i.write { POLLOUT } else { 0 },
-                revents: 0,
-            })
-            .collect();
-        let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
-        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
-        if n <= 0 {
-            // Timeout or EINTR: nothing ready; the loop ticks anyway.
-            return vec![Ready::default(); entries.len()];
-        }
-        fds.iter()
-            .map(|p| Ready {
-                read: p.revents & (POLLIN | POLLERR | POLLHUP) != 0,
-            })
-            .collect()
-    }
-}
-
-/// Portable fallback: no fd readiness API, so the loop sleeps one
-/// short tick and then *attempts* every interested nonblocking op
-/// (reads return `WouldBlock` harmlessly when nothing is pending).
-#[cfg(not(unix))]
-mod readiness {
-    use std::time::Duration;
-
-    #[derive(Clone, Copy, Default)]
-    pub struct Interest {
-        pub read: bool,
-        pub write: bool,
-    }
-
-    #[derive(Clone, Copy, Default)]
-    pub struct Ready {
-        pub read: bool,
-    }
-
-    pub type Token = ();
-
-    pub fn wait(entries: &[(Token, Interest)], timeout: Duration) -> Vec<Ready> {
-        std::thread::sleep(timeout.min(Duration::from_millis(2)));
-        entries.iter().map(|&(_, i)| Ready { read: i.read }).collect()
+    fn begin_drain(&self) {
+        Service::begin_drain(self);
     }
 }
 
 // ---------------------------------------------------------------------
-// Listener + event loop
+// Event loop
 // ---------------------------------------------------------------------
-
-enum ListenerKind {
-    Tcp(TcpListener),
-    #[cfg(unix)]
-    Unix { listener: UnixListener, path: PathBuf },
-}
-
-impl ListenerKind {
-    fn set_nonblocking(&self) -> io::Result<()> {
-        match self {
-            ListenerKind::Tcp(l) => l.set_nonblocking(true),
-            #[cfg(unix)]
-            ListenerKind::Unix { listener, .. } => listener.set_nonblocking(true),
-        }
-    }
-
-    #[cfg(unix)]
-    fn token(&self) -> readiness::Token {
-        match self {
-            ListenerKind::Tcp(l) => l.as_raw_fd(),
-            ListenerKind::Unix { listener, .. } => listener.as_raw_fd(),
-        }
-    }
-
-    #[cfg(not(unix))]
-    fn token(&self) -> readiness::Token {}
-
-    /// Accepts one pending connection, or `None` on `WouldBlock`.
-    fn accept(&self) -> io::Result<Option<Conn>> {
-        let conn = match self {
-            ListenerKind::Tcp(l) => match l.accept() {
-                Ok((s, _)) => Conn::Tcp(s),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
-                Err(e) => return Err(e),
-            },
-            #[cfg(unix)]
-            ListenerKind::Unix { listener, .. } => match listener.accept() {
-                Ok((s, _)) => Conn::Unix(s),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
-                Err(e) => return Err(e),
-            },
-        };
-        Ok(Some(conn))
-    }
-}
-
-#[cfg(unix)]
-fn conn_token(cs: &ConnState) -> readiness::Token {
-    cs.raw_fd()
-}
-
-#[cfg(not(unix))]
-fn conn_token(_cs: &ConnState) -> readiness::Token {}
 
 /// One event-loop connection: buffered stream plus protocol phase.
-struct EventConn {
-    cs: ConnState,
+/// Shared by the worker-pool server and the coordinator — the service
+/// behind it is abstracted as a [`Dispatcher`].
+pub(crate) struct EventConn {
+    pub(crate) cs: ConnState,
     /// Hit `SHUTDOWN`: parsing is paused (preserving response order on
     /// a pipelined stream) until the drain completes and the deferred
     /// acknowledgement is queued.
-    awaiting_drain: bool,
+    pub(crate) awaiting_drain: bool,
     /// Flush whatever is queued, then drop (framing error or EOF).
-    closing: bool,
+    pub(crate) closing: bool,
     /// Hard I/O failure: drop immediately.
-    dead: bool,
+    pub(crate) dead: bool,
 }
 
 impl EventConn {
+    pub(crate) fn new(cs: ConnState) -> EventConn {
+        EventConn {
+            cs,
+            awaiting_drain: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
     /// Parses and dispatches every complete buffered line, stopping at
     /// backpressure, `SHUTDOWN`, or a framing error.
-    fn process(&mut self, service: &Service) {
+    pub(crate) fn process(&mut self, service: &impl Dispatcher) {
         while !self.closing && !self.awaiting_drain {
             match self.cs.next_line() {
                 Ok(Some(line)) => {
@@ -985,8 +862,8 @@ impl EventConn {
         }
     }
 
-    fn handle_line(&mut self, service: &Service, line: &str) {
-        match service.dispatch(line) {
+    fn handle_line(&mut self, service: &impl Dispatcher, line: &str) {
+        match service.dispatch_line(line) {
             Dispatch::Reply(v) => self.queue_value(&v),
             Dispatch::Shutdown => {
                 service.begin_drain();
@@ -995,7 +872,7 @@ impl EventConn {
         }
     }
 
-    fn queue_value(&mut self, v: &Value) {
+    pub(crate) fn queue_value(&mut self, v: &Value) {
         let mut out = v.encode();
         out.push('\n');
         self.cs.queue(out.as_bytes());
@@ -1052,34 +929,11 @@ impl Server {
     /// result-store directory errors.
     pub fn bind(spec: &str, cfg: ServerConfig) -> io::Result<Server> {
         let service = Service::new(cfg)?;
-        if let Some(path) = spec.strip_prefix("unix:") {
-            #[cfg(unix)]
-            {
-                let pb = PathBuf::from(path);
-                // A stale socket file from a dead server blocks rebinding.
-                let _ = std::fs::remove_file(&pb);
-                let listener = UnixListener::bind(&pb)?;
-                return Ok(Server {
-                    service,
-                    addr: format!("unix:{path}"),
-                    listener: ListenerKind::Unix { listener, path: pb },
-                });
-            }
-            #[cfg(not(unix))]
-            {
-                let _ = path;
-                return Err(io::Error::new(
-                    io::ErrorKind::Unsupported,
-                    "unix sockets are not available on this platform",
-                ));
-            }
-        }
-        let listener = TcpListener::bind(spec)?;
-        let addr = listener.local_addr()?.to_string();
+        let (listener, addr) = ListenerKind::bind(spec)?;
         Ok(Server {
             service,
             addr,
-            listener: ListenerKind::Tcp(listener),
+            listener,
         })
     }
 
@@ -1158,7 +1012,7 @@ impl Server {
             ));
             for c in &conns {
                 interest.push((
-                    conn_token(&c.cs),
+                    c.cs.token(),
                     readiness::Interest {
                         read: !c.closing
                             && !c.awaiting_drain
@@ -1176,12 +1030,7 @@ impl Server {
                 loop {
                     match listener.accept() {
                         Ok(Some(conn)) => match ConnState::new(conn) {
-                            Ok(cs) => conns.push(EventConn {
-                                cs,
-                                awaiting_drain: false,
-                                closing: false,
-                                dead: false,
-                            }),
+                            Ok(cs) => conns.push(EventConn::new(cs)),
                             Err(_) => continue,
                         },
                         Ok(None) => break,
@@ -1208,7 +1057,7 @@ impl Server {
                         }
                     }
                 }
-                c.process(&service);
+                c.process(service.as_ref());
             }
 
             // External termination requests the same graceful drain as
@@ -1238,7 +1087,7 @@ impl Server {
                         ("served", Value::u64(served)),
                     ]));
                     // Parse anything pipelined behind the SHUTDOWN.
-                    c.process(&service);
+                    c.process(service.as_ref());
                 }
             }
 
@@ -1278,10 +1127,7 @@ impl Server {
             let _ = h.join();
         }
         let _ = monitor.join();
-        #[cfg(unix)]
-        if let ListenerKind::Unix { path, .. } = &listener {
-            let _ = std::fs::remove_file(path);
-        }
+        listener.cleanup();
         Ok(())
     }
 }

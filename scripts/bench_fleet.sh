@@ -1,0 +1,109 @@
+#!/bin/sh
+# Fleet-mode benchmark + byte-identity gate: the same 12-job seeded
+# sweep is driven through a coordinator backed by 1 backend and then
+# (fresh processes, cold caches) by 3 backends. Each phase runs
+# `tpclient sweep --local-check`, which re-executes every job locally
+# and exits nonzero unless all served reports are byte-identical to the
+# local runs — determinism is the gate; throughput is reported but not
+# gated (CI containers may have a single CPU, where 3 backends cannot
+# win). Writes a schema:1 BENCH_fleet.json in the repo root.
+#
+# Usage: ./scripts/bench_fleet.sh   (from anywhere)
+set -e
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p tpserve
+
+TMP="${TMPDIR:-/tmp}"
+BIN=./target/release
+
+# 12 distinct seeded requests: seeds spread the jobs across the ring
+# and force the seed-bypass path (no seed-blind cache reuse).
+PAYLOADS=""
+for s in $(seq 101 112); do
+  PAYLOADS="$PAYLOADS {\"workload\":\"spec06.mcf\",\"scale\":\"test\",\"l1\":\"stride\",\"temporal\":\"streamline\",\"seed\":$s}"
+done
+
+ALL_PIDS=""
+ALL_SOCKS=""
+cleanup() {
+  for p in $ALL_PIDS; do kill "$p" 2>/dev/null || true; done
+  for s in $ALL_SOCKS; do rm -f "$s"; done
+}
+trap cleanup EXIT
+
+wait_sock() {
+  for _ in $(seq 1 50); do
+    [ -S "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "bench_fleet: tpserve did not create $1"
+  exit 1
+}
+
+# run_phase N OUTFILE: fresh N-backend fleet, one coordinated sweep
+# with the local-check gate, then a full drain of every process.
+run_phase() {
+  n=$1
+  out=$2
+  pids=""
+  socks=""
+  backs=""
+  i=0
+  while [ "$i" -lt "$n" ]; do
+    s="$TMP/tpfleet-$$-b$n$i.sock"
+    "$BIN"/tpserve --socket="$s" --jobs=2 >/dev/null 2>&1 &
+    pids="$pids $!"
+    ALL_PIDS="$ALL_PIDS $!"
+    socks="$socks $s"
+    ALL_SOCKS="$ALL_SOCKS $s"
+    backs="$backs --backend=unix:$s"
+    i=$((i + 1))
+  done
+  for s in $socks; do wait_sock "$s"; done
+  csock="$TMP/tpfleet-$$-coord$n.sock"
+  ALL_SOCKS="$ALL_SOCKS $csock"
+  # shellcheck disable=SC2086 # backs is a list of --backend= flags
+  "$BIN"/tpserve --coordinator --socket="$csock" $backs >/dev/null 2>&1 &
+  cpid=$!
+  ALL_PIDS="$ALL_PIDS $cpid"
+  wait_sock "$csock"
+  # shellcheck disable=SC2086 # payloads carry no spaces; one word each
+  "$BIN"/tpclient "unix:$csock" sweep $PAYLOADS --local-check > "$out"
+  "$BIN"/tpclient "unix:$csock" stats | grep -q '"role":"coordinator"' || {
+    echo "bench_fleet: coordinator stats missing role"
+    exit 1
+  }
+  "$BIN"/tpclient "unix:$csock" shutdown >/dev/null
+  wait "$cpid"
+  for s in $socks; do "$BIN"/tpclient "unix:$s" shutdown >/dev/null; done
+  for p in $pids; do wait "$p"; done
+}
+
+run_phase 1 "$TMP/tpfleet-$$-single.json"
+run_phase 3 "$TMP/tpfleet-$$-fleet3.json"
+
+SINGLE=$(cat "$TMP/tpfleet-$$-single.json")
+FLEET=$(cat "$TMP/tpfleet-$$-fleet3.json")
+rm -f "$TMP/tpfleet-$$-single.json" "$TMP/tpfleet-$$-fleet3.json"
+trap - EXIT
+cleanup
+
+# The gate proper: tpclient already exited nonzero on divergence (set
+# -e aborts above); belt-and-braces, require the flag in both records.
+echo "$SINGLE" | grep -q '"identical":true' || {
+  echo "bench_fleet: single-backend sweep diverged: $SINGLE"
+  exit 1
+}
+echo "$FLEET" | grep -q '"identical":true' || {
+  echo "bench_fleet: 3-backend sweep diverged: $FLEET"
+  exit 1
+}
+
+printf '{"schema":1,"single":%s,"fleet3":%s}\n' "$SINGLE" "$FLEET" > BENCH_fleet.json
+cat BENCH_fleet.json
+
+US1=$(echo "$SINGLE" | sed -n 's/.*"total_us":\([0-9]*\).*/\1/p')
+US3=$(echo "$FLEET" | sed -n 's/.*"total_us":\([0-9]*\).*/\1/p')
+RATIO=$(awk "BEGIN { printf \"%.2f\", $US1 / $US3 }")
+echo "bench_fleet: byte-identity held; 1-backend ${US1}us vs 3-backend ${US3}us (${RATIO}x)"

@@ -96,4 +96,47 @@ trap - EXIT
 rm -rf "$STORE"
 [ ! -e "$SOCK" ] || { echo "tpserve left its socket behind"; exit 1; }
 
+echo "== fleet smoke test (coordinator over 2 backends, local-check gate) =="
+B0="${TMPDIR:-/tmp}/tpserve-check-b0-$$.sock"
+B1="${TMPDIR:-/tmp}/tpserve-check-b1-$$.sock"
+CSOCK="${TMPDIR:-/tmp}/tpserve-check-coord-$$.sock"
+./target/release/tpserve --socket="$B0" --jobs=2 >/dev/null 2>&1 &
+B0_PID=$!
+./target/release/tpserve --socket="$B1" --jobs=2 >/dev/null 2>&1 &
+B1_PID=$!
+trap 'kill "$B0_PID" "$B1_PID" "$COORD_PID" 2>/dev/null || true' EXIT
+for s in "$B0" "$B1"; do
+  for _ in $(seq 1 50); do
+    [ -S "$s" ] && break
+    sleep 0.1
+  done
+  [ -S "$s" ] || { echo "tpserve did not create $s"; exit 1; }
+done
+./target/release/tpserve --coordinator --socket="$CSOCK" \
+  --backend="unix:$B0" --backend="unix:$B1" >/dev/null 2>&1 &
+COORD_PID=$!
+for _ in $(seq 1 50); do
+  [ -S "$CSOCK" ] && break
+  sleep 0.1
+done
+[ -S "$CSOCK" ] || { echo "coordinator did not create $CSOCK"; exit 1; }
+TPCOORD="./target/release/tpclient unix:$CSOCK"
+$TPCOORD ping | grep -q '"pong":true'
+# Three jobs (one seeded, to force the seed-bypass path) sharded over
+# both backends; --local-check re-runs each locally and fails on any
+# byte divergence between fleet and local reports.
+$TPCOORD sweep \
+  '{"workload":"spec06.mcf","scale":"test","temporal":"streamline"}' \
+  '{"workload":"gap.bfs","scale":"test","temporal":"streamline"}' \
+  '{"workload":"spec06.mcf","scale":"test","temporal":"streamline","seed":4242}' \
+  --local-check | grep -q '"identical":true'
+$TPCOORD stats | grep -q '"role":"coordinator"'
+$TPCOORD shutdown | grep -q '"status":"ok"'
+wait "$COORD_PID"
+./target/release/tpclient "unix:$B0" shutdown >/dev/null
+./target/release/tpclient "unix:$B1" shutdown >/dev/null
+wait "$B0_PID" "$B1_PID"
+trap - EXIT
+[ ! -e "$CSOCK" ] || { echo "coordinator left its socket behind"; exit 1; }
+
 echo "check.sh: all gates passed"

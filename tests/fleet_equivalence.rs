@@ -1,0 +1,403 @@
+//! Fleet-equivalence suite for the tpserve coordinator: a fleet of
+//! backend servers behind `--coordinator` must produce reports
+//! byte-identical to local `--jobs=N` sweeps — including when a
+//! backend dies mid-sweep, is down from the start, or the whole fleet
+//! is unreachable and jobs fall back to local execution.
+
+use std::thread;
+use tpharness::baselines::{L1Kind, TemporalKind};
+use tpharness::experiment::{run_single, Experiment};
+use tpharness::sweep::{SweepJob, SweepRunner};
+use tpharness::wire::{encode_sim_report, parse, Value};
+use tpserve::protocol::Request;
+use tpserve::{
+    Client, Coordinator, CoordController, CoordinatorConfig, HashRing, Server, ServerConfig,
+};
+use tptrace::{workloads, Scale};
+
+struct Backend {
+    addr: String,
+    handle: thread::JoinHandle<()>,
+}
+
+fn start_backend() -> Backend {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind backend");
+    let addr = server.addr().to_string();
+    let handle = thread::spawn(move || server.run().expect("backend run"));
+    Backend { addr, handle }
+}
+
+struct Fleet {
+    addr: String,
+    controller: CoordController,
+    handle: thread::JoinHandle<()>,
+}
+
+fn start_coordinator(backends: &[String]) -> Fleet {
+    let coord = Coordinator::bind("127.0.0.1:0", backends, CoordinatorConfig::default())
+        .expect("bind coordinator");
+    let addr = coord.addr().to_string();
+    let controller = coord.controller();
+    let handle = thread::spawn(move || coord.run().expect("coordinator run"));
+    Fleet {
+        addr,
+        controller,
+        handle,
+    }
+}
+
+fn shutdown_backend(b: Backend) {
+    let mut c = Client::connect(&b.addr).expect("connect backend for shutdown");
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    b.handle.join().unwrap();
+}
+
+fn status(v: &Value) -> &str {
+    v.get("status").and_then(Value::as_str).unwrap_or("<none>")
+}
+
+fn req(json: &str) -> Value {
+    parse(json).expect("test request parses")
+}
+
+/// An address that connect() refuses: bind an ephemeral port, record
+/// it, and drop the listener before anyone dials it.
+fn dead_addr() -> String {
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    l.local_addr().unwrap().to_string()
+}
+
+fn seeded_payload(seed: u64) -> Value {
+    req(&format!(
+        r#"{{"workload":"spec06.mcf","scale":"test","l1":"stride","temporal":"streamline","seed":{seed}}}"#
+    ))
+}
+
+/// The primary ring node a payload routes to — computed exactly as the
+/// coordinator does (canonical request encoding → ring point), so
+/// tests can deterministically aim jobs at a chosen backend.
+fn primary_of(ring: &HashRing, payload: &Value) -> usize {
+    let r = Request::from_value(payload).expect("payload is a valid request");
+    ring.candidates(HashRing::job_point(&r.canonical()))[0]
+}
+
+/// The first seed in `1..` whose payload's primary is backend `target`.
+fn seed_with_primary(ring: &HashRing, target: usize) -> u64 {
+    (1..1000)
+        .find(|&s| primary_of(ring, &seeded_payload(s)) == target)
+        .expect("some seed in 1..1000 must hash to every backend")
+}
+
+fn stat_u64(stats: &Value, key: &str) -> u64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats.{key} missing: {}", stats.encode()))
+}
+
+#[test]
+fn fleet_of_three_matches_local_jobs_sweep() {
+    let backends: Vec<Backend> = (0..3).map(|_| start_backend()).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr.clone()).collect();
+    let fleet = start_coordinator(&addrs);
+    let mut c = Client::connect(&fleet.addr).expect("connect coordinator");
+    assert_eq!(status(&c.ping().unwrap()), "ok");
+
+    // A multi-experiment sweep: 3 workloads x {streamline, triage}.
+    let names = ["spec06.mcf", "gap.bfs", "spec06.omnetpp"];
+    let kinds = [
+        ("streamline", TemporalKind::Streamline),
+        ("triage", TemporalKind::Triage),
+    ];
+    let mut payloads = Vec::new();
+    let mut jobs = Vec::new();
+    for name in names {
+        for (wire_name, kind) in kinds {
+            payloads.push(req(&format!(
+                r#"{{"workload":"{name}","scale":"test","l1":"stride","temporal":"{wire_name}"}}"#
+            )));
+            jobs.push(SweepJob::single(
+                workloads::by_name(name).unwrap(),
+                Experiment::new(Scale::Test).l1(L1Kind::Stride).temporal(kind),
+            ));
+        }
+    }
+
+    // Pipeline every SUBMIT, then wait the tickets out in order —
+    // the same submit-all-then-collect shape SweepRunner::map uses.
+    let submitted = c.pipeline(&payloads).unwrap();
+    let mut served = Vec::with_capacity(payloads.len());
+    for resp in &submitted {
+        assert_eq!(status(resp), "queued", "{}", resp.encode());
+        let ticket = resp.get("ticket").and_then(Value::as_u64).unwrap();
+        let done = c.wait(ticket).unwrap();
+        assert_eq!(status(&done), "done", "{}", done.encode());
+        served.push(done.get("report").expect("done carries a report").encode());
+    }
+
+    // Byte-identity against a local --jobs=2 sweep over the same jobs,
+    // in the same canonical order.
+    let local = SweepRunner::new().with_workers(2).run(&jobs);
+    for (i, (remote, report)) in served.iter().zip(&local).enumerate() {
+        assert_eq!(
+            remote,
+            &encode_sim_report(report),
+            "job {i}: fleet report must be byte-identical to the local sweep"
+        );
+    }
+
+    // Seed-overriding request: must bypass the seed-blind sweep cache
+    // on whichever backend it lands on and match a direct reseeded run.
+    let seeded = seeded_payload(12345);
+    let resp = c.submit_and_wait(&seeded).unwrap();
+    assert_eq!(status(&resp), "done");
+    let w = workloads::by_name("spec06.mcf").unwrap().with_seed(12345);
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    assert_eq!(
+        resp.get("report").unwrap().encode(),
+        encode_sim_report(&run_single(&w, &exp)),
+        "seeded fleet report must match a direct reseeded run"
+    );
+
+    // A healthy fleet forwards everything to primaries: no reroutes,
+    // no local fallbacks, and the routed counts add up.
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("role"))
+            .and_then(Value::as_str),
+        Some("coordinator")
+    );
+    assert_eq!(stat_u64(&stats, "forwarded"), payloads.len() as u64 + 1);
+    assert_eq!(stat_u64(&stats, "rerouted"), 0);
+    assert_eq!(stat_u64(&stats, "local_jobs"), 0);
+    let per_backend = stats
+        .get("stats")
+        .and_then(|s| s.get("backends"))
+        .and_then(Value::as_arr)
+        .expect("coordinator stats carry a backends array");
+    assert_eq!(per_backend.len(), 3);
+    let routed: u64 = per_backend
+        .iter()
+        .map(|b| b.get("routed").and_then(Value::as_u64).unwrap())
+        .sum();
+    assert_eq!(routed, payloads.len() as u64 + 1);
+
+    // Identical resubmission is a coordinator-cache hit: answered
+    // synchronously, byte-identical, no new forward.
+    let resp = c.submit_and_wait(&payloads[0]).unwrap();
+    assert_eq!(status(&resp), "done");
+    assert_eq!(resp.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(resp.get("report").unwrap().encode(), served[0]);
+    assert_eq!(stat_u64(&c.stats().unwrap(), "forwarded"), payloads.len() as u64 + 1);
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    fleet.handle.join().unwrap();
+    assert_eq!(fleet.controller.rerouted(), 0);
+    for b in backends {
+        shutdown_backend(b);
+    }
+}
+
+#[test]
+fn backend_killed_mid_sweep_reroutes_with_byte_identical_reports() {
+    // Two real backends plus a fake that accepts the coordinator's
+    // link, acknowledges the first SUBMIT as queued, and then drops
+    // the connection and stops listening — a mid-sweep kill.
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let fake = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = fake.local_addr().unwrap().to_string();
+    let killer = thread::spawn(move || {
+        use std::io::{BufRead, BufReader, Write};
+        let (stream, _) = fake.accept().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("SUBMIT"), "unexpected first line: {line}");
+        let mut stream = stream;
+        stream
+            .write_all(b"{\"status\":\"queued\",\"ticket\":1,\"key\":\"0\",\"queue_depth\":1}\n")
+            .unwrap();
+        // Dropping the stream and listener kills the backend: the
+        // coordinator sees EOF on the link and connect-refused after.
+    });
+
+    let addrs = vec![b0.addr.clone(), fake_addr, b1.addr.clone()];
+    let ring = HashRing::new(&addrs);
+    // Deterministically aim two jobs at the doomed backend (index 1)
+    // and two at the survivors.
+    let s_dead = seed_with_primary(&ring, 1);
+    let s_dead2 = (s_dead + 1..1000)
+        .find(|&s| primary_of(&ring, &seeded_payload(s)) == 1)
+        .unwrap();
+    let s_live = seed_with_primary(&ring, 0);
+    let s_live2 = seed_with_primary(&ring, 2);
+    let seeds = [s_dead, s_dead2, s_live, s_live2];
+
+    let fleet = start_coordinator(&addrs);
+    let mut c = Client::connect(&fleet.addr).expect("connect coordinator");
+    let payloads: Vec<Value> = seeds.iter().map(|&s| seeded_payload(s)).collect();
+    let submitted = c.pipeline(&payloads).unwrap();
+
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    for (resp, &seed) in submitted.iter().zip(&seeds) {
+        assert_eq!(status(resp), "queued", "{}", resp.encode());
+        let ticket = resp.get("ticket").and_then(Value::as_u64).unwrap();
+        let done = c.wait(ticket).unwrap();
+        assert_eq!(status(&done), "done", "{}", done.encode());
+        let w = workloads::by_name("spec06.mcf").unwrap().with_seed(seed);
+        assert_eq!(
+            done.get("report").unwrap().encode(),
+            encode_sim_report(&run_single(&w, &exp)),
+            "seed {seed}: report must stay byte-identical across the kill"
+        );
+    }
+
+    // The jobs aimed at the killed backend must have rerouted.
+    assert!(
+        fleet.controller.rerouted() >= 2,
+        "expected both doomed-backend jobs to reroute, got {}",
+        fleet.controller.rerouted()
+    );
+    let stats = c.stats().unwrap();
+    assert!(stat_u64(&stats, "rerouted") >= 2);
+    let per_backend = stats
+        .get("stats")
+        .and_then(|s| s.get("backends"))
+        .and_then(Value::as_arr)
+        .unwrap();
+    let dead = per_backend
+        .iter()
+        .find(|b| b.get("addr").and_then(Value::as_str) == Some(addrs[1].as_str()))
+        .expect("killed backend still listed in stats");
+    assert_eq!(dead.get("up").and_then(Value::as_bool), Some(false));
+    assert!(dead.get("rerouted_away").and_then(Value::as_u64).unwrap() >= 2);
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    fleet.handle.join().unwrap();
+    killer.join().unwrap();
+    shutdown_backend(b0);
+    shutdown_backend(b1);
+}
+
+#[test]
+fn backend_down_at_start_falls_back_and_counts_reroutes() {
+    // The middle ring node never existed; jobs aimed at it must land
+    // on a live backend with the departure visible in STATS.
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let addrs = vec![b0.addr.clone(), dead_addr(), b1.addr.clone()];
+    let ring = HashRing::new(&addrs);
+    let seed = seed_with_primary(&ring, 1);
+
+    let fleet = start_coordinator(&addrs);
+    let mut c = Client::connect(&fleet.addr).expect("connect coordinator");
+    let resp = c.submit_and_wait(&seeded_payload(seed)).unwrap();
+    assert_eq!(status(&resp), "done", "{}", resp.encode());
+    let w = workloads::by_name("spec06.mcf").unwrap().with_seed(seed);
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    assert_eq!(
+        resp.get("report").unwrap().encode(),
+        encode_sim_report(&run_single(&w, &exp)),
+        "rerouted report must be byte-identical to a local run"
+    );
+
+    assert!(fleet.controller.rerouted() >= 1);
+    assert_eq!(fleet.controller.local_jobs(), 0, "a live ring node must absorb the job");
+    let stats = c.stats().unwrap();
+    assert!(
+        stat_u64(&stats, "rerouted") >= 1,
+        "the rerouted counter must be visible in STATS: {}",
+        stats.encode()
+    );
+    let per_backend = stats
+        .get("stats")
+        .and_then(|s| s.get("backends"))
+        .and_then(Value::as_arr)
+        .unwrap();
+    let down = per_backend
+        .iter()
+        .find(|b| b.get("addr").and_then(Value::as_str) == Some(addrs[1].as_str()))
+        .unwrap();
+    assert_eq!(down.get("up").and_then(Value::as_bool), Some(false));
+    assert!(down.get("rerouted_away").and_then(Value::as_u64).unwrap() >= 1);
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    fleet.handle.join().unwrap();
+    shutdown_backend(b0);
+    shutdown_backend(b1);
+}
+
+#[test]
+fn unreachable_fleet_falls_back_to_local_execution() {
+    // Every ring node refuses connections: the coordinator must finish
+    // the sweep itself, byte-identically, and say so in its counters —
+    // including the seed-bypass path running locally.
+    let addrs = vec![dead_addr(), dead_addr()];
+    let fleet = start_coordinator(&addrs);
+    let mut c = Client::connect(&fleet.addr).expect("connect coordinator");
+
+    let canonical = req(
+        r#"{"workload":"gap.bfs","scale":"test","l1":"stride","temporal":"streamline"}"#,
+    );
+    let resp = c.submit_and_wait(&canonical).unwrap();
+    assert_eq!(status(&resp), "done", "{}", resp.encode());
+    let direct = SweepRunner::serial().run_one(SweepJob::single(
+        workloads::by_name("gap.bfs").unwrap(),
+        Experiment::new(Scale::Test)
+            .l1(L1Kind::Stride)
+            .temporal(TemporalKind::Streamline),
+    ));
+    assert_eq!(resp.get("report").unwrap().encode(), encode_sim_report(&direct));
+
+    let seeded = seeded_payload(777);
+    let resp = c.submit_and_wait(&seeded).unwrap();
+    assert_eq!(status(&resp), "done");
+    let w = workloads::by_name("spec06.mcf").unwrap().with_seed(777);
+    let exp = Experiment::new(Scale::Test)
+        .l1(L1Kind::Stride)
+        .temporal(TemporalKind::Streamline);
+    assert_eq!(
+        resp.get("report").unwrap().encode(),
+        encode_sim_report(&run_single(&w, &exp)),
+        "local-fallback seeded run must bypass the seed-blind cache"
+    );
+
+    assert_eq!(fleet.controller.local_jobs(), 2);
+    assert!(fleet.controller.rerouted() >= 2, "departures from unreachable primaries count");
+    let stats = c.stats().unwrap();
+    assert_eq!(stat_u64(&stats, "local_jobs"), 2);
+    assert_eq!(stat_u64(&stats, "forwarded"), 0);
+    let per_backend = stats
+        .get("stats")
+        .and_then(|s| s.get("backends"))
+        .and_then(Value::as_arr)
+        .unwrap();
+    assert!(per_backend
+        .iter()
+        .all(|b| b.get("up").and_then(Value::as_bool) == Some(false)));
+
+    assert_eq!(status(&c.shutdown().unwrap()), "ok");
+    drop(c);
+    fleet.handle.join().unwrap();
+}

@@ -5,6 +5,7 @@ use streamline_repro::streamline_core::{align, StoreInsert, StreamEntry, StreamS
 use streamline_repro::tpreplace::{min_sim, tpmin_sim};
 use streamline_repro::tptrace::record::Line;
 use tpcheck::{check, ensure, Gen};
+use tpserve::HashRing;
 
 /// A random (trigger, target) metadata stream.
 fn stream(g: &mut Gen, triggers: u64, targets: u64, len: std::ops::Range<usize>) -> Vec<(u64, u64)> {
@@ -146,6 +147,74 @@ fn traces_are_deterministic() {
             "{}: first accesses differ",
             w.name
         );
+        Ok(())
+    });
+}
+
+/// Random backend address lists for the coordinator's hash ring.
+fn backend_addrs(g: &mut Gen, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| format!("10.{}.{}.{}:{}", g.u64_in(0..256), g.u64_in(0..256), g.u64_in(0..256), g.u64_in(1024..65536)))
+        .collect()
+}
+
+/// Consistent hashing bounds churn: removing one backend only remaps
+/// the jobs that were assigned to it — every other job keeps its
+/// backend. Read in reverse, adding one backend only steals jobs for
+/// the new node.
+#[test]
+fn ring_churn_is_bounded_to_the_changed_backend() {
+    check("ring churn bounded on add/remove", 48, |g| {
+        let n = g.usize_in(2..6);
+        let addrs = backend_addrs(g, n);
+        let removed = g.usize_in(0..n);
+        let rest: Vec<String> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != removed)
+            .map(|(_, a)| a.clone())
+            .collect();
+        let full = HashRing::new(&addrs);
+        let smaller = HashRing::new(&rest);
+        for j in 0..256u64 {
+            let point = HashRing::job_point(&format!("canonical-req-{j}-{}", g.u64_in(0..1 << 30)));
+            let before = full.assign(point).expect("non-empty ring assigns");
+            let after = smaller.assign(point).expect("non-empty ring assigns");
+            if before != removed {
+                ensure!(
+                    addrs[before] == rest[after],
+                    "job {j} moved from {} to {} though {} was the backend removed",
+                    addrs[before],
+                    rest[after],
+                    addrs[removed]
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// The ring is a pure function of the backend address list: a
+/// restarted coordinator over the same `--backend=` flags reproduces
+/// the identical assignment and failover order for every job.
+#[test]
+fn ring_assignment_is_stable_across_restarts() {
+    check("ring assignment stable across restarts", 48, |g| {
+        let n = g.usize_in(1..6);
+        let addrs = backend_addrs(g, n);
+        let a = HashRing::new(&addrs);
+        let b = HashRing::new(&addrs);
+        for j in 0..128u64 {
+            let point = HashRing::job_point(&format!("canonical-req-{j}-{}", g.u64_in(0..1 << 30)));
+            ensure!(
+                a.assign(point) == b.assign(point),
+                "restart changed the primary for point {point}"
+            );
+            ensure!(
+                a.candidates(point) == b.candidates(point),
+                "restart changed the failover order for point {point}"
+            );
+        }
         Ok(())
     });
 }
